@@ -1,0 +1,43 @@
+# Convenience targets for the SPP-1000 reproduction.
+
+GO ?= go
+
+.PHONY: all build test bench vet cover reproduce quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure at paper scale (≈1 minute).
+reproduce:
+	$(GO) run ./cmd/sppbench -exp all
+
+# Reduced problem sizes for CI.
+quick:
+	$(GO) run ./cmd/sppbench -exp all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pic3d
+	$(GO) run ./examples/nbody
+	$(GO) run ./examples/ppmshock
+	$(GO) run ./examples/profile
+	$(GO) run ./examples/directives
+	$(GO) run ./examples/amrblast
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,153 @@
+// Package spp1000 hosts the repository-level benchmarks: one testing.B
+// benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the complete artifact on the simulated machine;
+// reported custom metrics are simulated-machine quantities (virtual
+// seconds, simulated Mflop/s), not host-machine throughput.
+package spp1000
+
+import (
+	"testing"
+
+	"spp1000/internal/apps/fem"
+	"spp1000/internal/apps/nbody"
+	"spp1000/internal/apps/pic"
+	"spp1000/internal/apps/ppm"
+	"spp1000/internal/experiments"
+	"spp1000/internal/microbench"
+)
+
+func opts(b *testing.B) experiments.Options {
+	if testing.Short() {
+		return experiments.Quick()
+	}
+	o := experiments.Defaults()
+	// Benchmarks iterate; keep single-iteration cost moderate while
+	// staying at paper problem sizes (except the 2M-particle N-body
+	// count, which is exercised once in TestPaperScaleFig8 / sppbench).
+	o.NBodySizes = []int{32768, 262144}
+	return o
+}
+
+// BenchmarkFig2ForkJoin regenerates Figure 2.
+func BenchmarkFig2ForkJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(opts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Barrier regenerates Figure 3.
+func BenchmarkFig3Barrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(opts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Message regenerates Figure 4.
+func BenchmarkFig4Message(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(opts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt, err := microbench.MessageRoundTrip(1024, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rt.Micros(), "sim-us/global-RT")
+}
+
+// BenchmarkTab1C90PIC regenerates Table 1.
+func BenchmarkTab1C90PIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tab1(opts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sec, rate := pic.C90Reference(pic.Small, 500)
+	b.ReportMetric(rate, "sim-C90-Mflops")
+	b.ReportMetric(sec, "sim-C90-seconds")
+}
+
+// BenchmarkFig6PIC regenerates Figure 6.
+func BenchmarkFig6PIC(b *testing.B) {
+	o := opts(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r, err := pic.RunShared(pic.Small, 16, o.PICSteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Mflops, "sim-Mflops-16cpu")
+}
+
+// BenchmarkFig7FEM regenerates Figure 7.
+func BenchmarkFig7FEM(b *testing.B) {
+	o := opts(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r, err := fem.Run(fem.SmallGrid, fem.GatherScatter, 16, o.AppSteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.UsefulMflops, "sim-useful-Mflops-16cpu")
+}
+
+// BenchmarkFig8NBody regenerates Figure 8 (32K and 256K particles; run
+// cmd/sppbench for the full 2M-particle sweep).
+func BenchmarkFig8NBody(b *testing.B) {
+	o := opts(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w := nbody.CountWorkload(32768, o.NBodySample, o.Seed)
+	r, err := nbody.Run(w, 16, 2, o.AppSteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Mflops, "sim-Mflops-16cpu")
+}
+
+// BenchmarkAblations runs the design-choice ablation suite (extension).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablate(opts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAMR runs the adaptive-mesh-refinement extension.
+func BenchmarkAMR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AMR(opts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTab2PPM regenerates Table 2.
+func BenchmarkTab2PPM(b *testing.B) {
+	o := opts(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tab2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r, err := ppm.Run(ppm.Table2A, 8, o.AppSteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Mflops, "sim-Mflops-8cpu")
+}

@@ -1,0 +1,68 @@
+// Command sppbench regenerates the tables and figures of the paper's
+// evaluation on the simulated SPP-1000.
+//
+// Usage:
+//
+//	sppbench -exp all            # every experiment, paper scale
+//	sppbench -exp fig3           # one experiment
+//	sppbench -exp fig6,tab2      # a subset
+//	sppbench -quick              # reduced problem sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spp1000/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id(s): all, or comma-separated from "+strings.Join(append(append([]string{}, experiments.Names...), experiments.Extra...), ","))
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	jsonOut := flag.Bool("json", false, "emit the paper artifacts as structured JSON instead of text")
+	flag.Parse()
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+
+	if *jsonOut {
+		report, err := experiments.BuildReport(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sppbench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sppbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+
+	var names []string
+	switch *exp {
+	case "all":
+		names = experiments.Names
+	case "extra":
+		names = experiments.Extra
+	case "everything":
+		names = append(append([]string{}, experiments.Names...), experiments.Extra...)
+	default:
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		out, err := experiments.Run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sppbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", name, out)
+	}
+}

@@ -1,0 +1,67 @@
+// directives demonstrates the §3.2 compiler-directive layer: the same
+// skewed parallel loop under static, chunked, and self-scheduled
+// iteration assignment, a parallel reduction, and the false-sharing
+// penalty the paper warns about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spp1000/internal/directives"
+	"spp1000/internal/machine"
+	"spp1000/internal/threads"
+)
+
+func main() {
+	// A loop whose first iterations are 20x heavier (think: the dense
+	// center of a particle distribution).
+	weight := func(i int) int64 {
+		if i < 16 {
+			return 40_000
+		}
+		return 2_000
+	}
+
+	fmt.Println("Skewed parallel loop (128 iterations, 8 threads):")
+	for _, sched := range []directives.Schedule{
+		directives.Static, directives.Chunked, directives.SelfScheduled,
+	} {
+		m, err := machine.New(machine.Config{Hypernodes: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed, err := directives.For(m, directives.Loop{
+			Iters: 128, Threads: 8, Place: threads.HighLocality,
+			Schedule: sched, Chunk: 2,
+		}, func(th *machine.Thread, i int) {
+			th.ComputeCycles(weight(i))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15v %v\n", sched, elapsed)
+	}
+
+	// Parallel reduction with thread-private partials.
+	m, _ := machine.New(machine.Config{Hypernodes: 1})
+	sum, elapsed, err := directives.ReduceSum(m,
+		directives.Loop{Iters: 10_000, Threads: 8, Place: threads.HighLocality},
+		func(i int) float64 { return float64(i) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nReduceSum(0..9999) = %.0f in %v (8 threads)\n", sum, elapsed)
+
+	// The §3.2 false-sharing warning, quantified.
+	shared, private, err := directives.FalseSharing(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFalse sharing (300 accumulations × 8 threads):\n")
+	fmt.Printf("  adjacent shared scalars: %v\n", shared)
+	fmt.Printf("  thread-private scalars:  %v  (%.1fx faster)\n",
+		private, float64(shared)/float64(private))
+	fmt.Println("\n\"Parallel loops can achieve marked performance gains just by")
+	fmt.Println(" making scalar variables thread private\" — paper §3.2.")
+}

@@ -1,0 +1,60 @@
+// nbody builds a Plummer sphere, verifies the Barnes–Hut force against
+// direct summation, evolves the system a few steps, and reproduces the
+// paper's Fig. 8 scaling sweep for one problem size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"spp1000/internal/apps/nbody"
+)
+
+func main() {
+	const n = 8192
+	b := nbody.NewPlummer(n, 7)
+	nbody.SortMorton(b)
+
+	// Accuracy of the tree approximation vs direct summation.
+	t := nbody.Build(b)
+	var worst float64
+	for i := 0; i < 20; i++ {
+		ax, ay, az, st := t.Force(i, 0.7, 0.05)
+		dx, dy, dz := nbody.DirectForce(b, i, 0.05)
+		fm := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		em := math.Sqrt((ax-dx)*(ax-dx) + (ay-dy)*(ay-dy) + (az-dz)*(az-dz))
+		if fm > 0 && em/fm > worst {
+			worst = em / fm
+		}
+		if i == 0 {
+			fmt.Printf("body 0: %d tree nodes visited, %d interactions (vs %d direct)\n",
+				st.Visited, st.Interactions, n-1)
+		}
+	}
+	fmt.Printf("worst relative force error at theta=0.7: %.4f\n", worst)
+
+	// A few real dynamical steps.
+	for s := 0; s < 3; s++ {
+		st := nbody.Step(b, 0.01, 0.7, 0.05)
+		fmt.Printf("step %d: %.0f interactions/particle\n",
+			s, float64(st.Interactions)/float64(n))
+	}
+
+	// Fig. 8 sweep at 32K particles on the simulated machine.
+	fmt.Println("\nSPP-1000 scaling, 32768 particles:")
+	w := nbody.CountWorkload(32768, 64, 1)
+	base, err := nbody.Run(w, 1, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  1 CPU: %.1f Mflop/s (paper: 27.5)\n", base.Mflops)
+	for _, cfg := range []struct{ p, hn int }{{8, 1}, {8, 2}, {16, 2}} {
+		r, err := nbody.Run(w, cfg.p, cfg.hn, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d CPUs on %d hypernode(s): %6.1f Mflop/s, speedup %.2f\n",
+			cfg.p, cfg.hn, r.Mflops, base.Seconds/r.Seconds)
+	}
+}

@@ -1,0 +1,54 @@
+// profile demonstrates the CXpa-style instrumentation (§6): it runs a
+// deliberately imbalanced team across two hypernodes and prints the
+// per-thread busy / memory-stall / synchronization-wait breakdown plus
+// the machine's hardware counters — the observability the paper says
+// made its optimization work possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spp1000/internal/cxpa"
+	"spp1000/internal/machine"
+	"spp1000/internal/threads"
+	"spp1000/internal/topology"
+	"spp1000/internal/trace"
+)
+
+func main() {
+	m, err := machine.New(machine.Config{Hypernodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Trace = trace.New()
+	// A shared table hosted on hypernode 0: threads on hypernode 1 pay
+	// ring latency — visible in their memory-stall column.
+	table := m.Alloc("table", topology.NearShared, 0, 0)
+
+	bar := threads.NewBarrier(m, 16, 0)
+	_, ths, err := threads.RunTeamThreads(m, 16, threads.HighLocality, func(th *machine.Thread, tid int) {
+		for step := 0; step < 4; step++ {
+			// Imbalanced compute: later threads carry more work.
+			th.ComputeCycles(int64(20_000 + 3_000*tid))
+			// Shared-table walk: remote for threads 8-15.
+			for i := 0; i < 32; i++ {
+				th.Read(table, topology.Addr((tid*32+i)*topology.CacheLineBytes))
+			}
+			bar.Wait(th)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profiles := cxpa.Snapshot(ths)
+	fmt.Print(cxpa.Render("CXpa profile: 16 threads, 4 barrier-bounded phases", m, profiles))
+	fmt.Println()
+	fmt.Print(m.Trace.Render("Execution timeline", 96))
+
+	fmt.Println("\nWhat to read off this profile:")
+	fmt.Println(" - busy grows with thread id (the injected imbalance);")
+	fmt.Println(" - threads 8-15 (hypernode 1) show larger memory stalls (ring latency);")
+	fmt.Println(" - early threads burn the imbalance as sync wait at the barrier.")
+}

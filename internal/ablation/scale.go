@@ -1,0 +1,65 @@
+package ablation
+
+import (
+	"fmt"
+
+	"spp1000/internal/apps/nbody"
+	"spp1000/internal/microbench"
+	"spp1000/internal/stats"
+	"spp1000/internal/threads"
+)
+
+// ScaleReport runs the paper's stated near-term future work (§7):
+// "running on larger configuration platforms." The testbed had two
+// hypernodes; the architecture allows sixteen (128 processors). The
+// sweep extrapolates the §4 primitives and the tree code to the full
+// machine on the simulator.
+func ScaleReport() (string, error) {
+	configs := []struct {
+		hypernodes int
+		threads    int
+	}{
+		{2, 16}, {4, 32}, {8, 64}, {16, 128},
+	}
+
+	fj := &stats.Series{Name: "fork-join (µs)"}
+	barLIFO := &stats.Series{Name: "barrier LIFO (µs)"}
+	barLILO := &stats.Series{Name: "barrier LILO (µs)"}
+	for _, cfg := range configs {
+		t, err := microbench.ForkJoinCost(cfg.hypernodes, cfg.threads, threads.HighLocality)
+		if err != nil {
+			return "", err
+		}
+		fj.Add(float64(cfg.threads), t.Micros())
+		lifo, lilo, err := microbench.BarrierCost(cfg.hypernodes, cfg.threads, threads.HighLocality)
+		if err != nil {
+			return "", err
+		}
+		barLIFO.Add(float64(cfg.threads), lifo.Micros())
+		barLILO.Add(float64(cfg.threads), lilo.Micros())
+	}
+	out := stats.Render("Extrapolation: primitives up to 16 hypernodes / 128 CPUs",
+		"threads", "µs", fj, barLIFO, barLILO)
+
+	// Tree code on the growing machine (64 work blocks cap the team at
+	// 64 threads).
+	w := nbody.CountWorkload(262144, 64, 1)
+	sp := &stats.Series{Name: "speedup"}
+	rate := &stats.Series{Name: "Mflop/s"}
+	base, err := nbody.Run(w, 1, 1, 2)
+	if err != nil {
+		return "", err
+	}
+	for _, cfg := range []struct{ p, hn int }{{8, 1}, {16, 2}, {32, 4}, {64, 8}} {
+		r, err := nbody.Run(w, cfg.p, cfg.hn, 2)
+		if err != nil {
+			return "", err
+		}
+		sp.Add(float64(cfg.p), base.Seconds/r.Seconds)
+		rate.Add(float64(cfg.p), r.Mflops)
+	}
+	out += "\n" + stats.Render("Extrapolation: tree code (262144 particles) beyond the testbed",
+		"CPUs", "speedup / Mflop/s", sp, rate)
+	out += fmt.Sprintf("(1-CPU rate %.1f Mflop/s; the paper's testbed stopped at 16 CPUs)\n", base.Mflops)
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package amr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubcycledUniformFlowExact(t *testing.T) {
+	d, _ := New(2, 2)
+	d.SetRegion(func(x, y float64) (float64, float64, float64, float64) {
+		return 1.1, 0.2, -0.1, 1.4
+	})
+	for s := 0; s < 8; s++ {
+		d.StepSubcycled()
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rho, u, v, p := d.Sample(5, 5)
+	if math.Abs(rho-1.1) > 1e-10 || math.Abs(u-0.2) > 1e-10 ||
+		math.Abs(v+0.1) > 1e-10 || math.Abs(p-1.4) > 1e-9 {
+		t.Fatalf("uniform flow disturbed: %v %v %v %v", rho, u, v, p)
+	}
+}
+
+func TestSubcycledConservesToTruncation(t *testing.T) {
+	d, _ := New(4, 1)
+	w := float64(4 * BlockSize)
+	d.SetRegion(shockInit(w))
+	m0 := d.TotalMass()
+	for s := 0; s < 10; s++ {
+		d.StepSubcycled()
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+	}
+	if rel := math.Abs(d.TotalMass()-m0) / m0; rel > 0.02 {
+		t.Fatalf("mass drifted %.3f%% under subcycling", rel*100)
+	}
+	// Physicality.
+	for x := 0.5; x < w; x += 1 {
+		rho, _, _, p := d.Sample(x, 8)
+		if rho <= 0 || p <= 0 || math.IsNaN(rho) {
+			t.Fatalf("unphysical at x=%v: rho=%v p=%v", x, rho, p)
+		}
+	}
+}
+
+func TestSubcyclingReducesZoneUpdates(t *testing.T) {
+	// To reach the same physical time, subcycled stepping spends far
+	// fewer zone updates on the coarse blocks.
+	const targetT = 4.0
+	run := func(sub bool) int64 {
+		d, _ := New(4, 1)
+		w := float64(4 * BlockSize)
+		d.SetRegion(shockInit(w))
+		tPhys := 0.0
+		for tPhys < targetT {
+			if sub {
+				tPhys += d.StepSubcycled()
+			} else {
+				tPhys += d.Step()
+			}
+		}
+		return d.ZoneUpdates
+	}
+	plain := run(false)
+	sub := run(true)
+	if sub >= plain {
+		t.Fatalf("subcycled updates (%d) should be below single-dt updates (%d)", sub, plain)
+	}
+	t.Logf("zone updates to t=%.1f: single-dt %d, subcycled %d (%.2fx saved)",
+		targetT, plain, sub, float64(plain)/float64(sub))
+}
+
+func TestSubcycledTracksPlainStepping(t *testing.T) {
+	// Both integrators must agree on the coarse features of the flow.
+	w := float64(4 * BlockSize)
+	mk := func() *Domain {
+		d, _ := New(4, 1)
+		d.SetRegion(shockInit(w))
+		return d
+	}
+	a, b := mk(), mk()
+	const targetT = 3.0
+	for tp := 0.0; tp < targetT; {
+		tp += a.Step()
+	}
+	for tp := 0.0; tp < targetT; {
+		tp += b.StepSubcycled()
+	}
+	var l1, n float64
+	for x := 0.5; x < w; x += 0.5 {
+		ra, _, _, _ := a.Sample(x, 8)
+		rb, _, _, _ := b.Sample(x, 8)
+		l1 += math.Abs(ra - rb)
+		n++
+	}
+	if mean := l1 / n; mean > 0.03 {
+		t.Fatalf("integrators diverged: mean |Δρ| = %v", mean)
+	}
+}

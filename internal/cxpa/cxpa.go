@@ -1,0 +1,90 @@
+// Package cxpa renders CXpa-style execution profiles from the
+// per-thread instrumentation the simulator keeps. The paper (§6)
+// credits the Convex CXpa profiler and the machine's hardware event
+// counters — cache miss enumeration and timing — for making its
+// optimization work possible: "If vendors are going to insist on
+// gambling system performance on latency avoidance through caches, then
+// they should make available the means to observe the consequences of
+// cache operation." This package is that observability layer for the
+// simulated machine.
+package cxpa
+
+import (
+	"fmt"
+	"sort"
+
+	"spp1000/internal/machine"
+	"spp1000/internal/sim"
+	"spp1000/internal/stats"
+)
+
+// ThreadProfile is the execution-time breakdown of one thread.
+type ThreadProfile struct {
+	Name     string
+	CPU      string
+	Busy     sim.Time
+	MemStall sim.Time
+	SyncWait sim.Time
+	Total    sim.Time
+}
+
+// Snapshot captures the profile of a set of threads at the current
+// virtual time (typically after the team joined).
+func Snapshot(threads []*machine.Thread) []ThreadProfile {
+	out := make([]ThreadProfile, 0, len(threads))
+	for _, th := range threads {
+		out = append(out, ThreadProfile{
+			Name:     th.String(),
+			CPU:      th.CPU.String(),
+			Busy:     th.Busy,
+			MemStall: th.MemStall,
+			SyncWait: th.SyncWait,
+			Total:    th.Busy + th.MemStall + th.SyncWait,
+		})
+	}
+	return out
+}
+
+// Imbalance reports the coarse-grained load imbalance the paper says
+// CXpa exposes: max thread busy time over mean busy time (1.0 =
+// perfectly balanced).
+func Imbalance(profiles []ThreadProfile) float64 {
+	if len(profiles) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, p := range profiles {
+		b := float64(p.Busy)
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	mean := sum / float64(len(profiles))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// Render formats the profile as an aligned table plus machine counters.
+func Render(title string, m *machine.Machine, profiles []ThreadProfile) string {
+	tb := stats.NewTable(title, "thread", "busy", "mem stall", "sync wait", "busy %")
+	sorted := append([]ThreadProfile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, p := range sorted {
+		pct := 0.0
+		if p.Total > 0 {
+			pct = 100 * float64(p.Busy) / float64(p.Total)
+		}
+		tb.AddRow(p.Name, p.Busy.String(), p.MemStall.String(), p.SyncWait.String(), pct)
+	}
+	out := tb.Render()
+	c := m.Mem.TotalCounters()
+	out += fmt.Sprintf(
+		"machine counters: %d accesses, %d hits, misses %d local / %d hypernode / %d global, %d invalidations\n"+
+			"load imbalance (max/mean busy): %.3f\n",
+		c.Accesses, c.Hits, c.LocalMisses, c.HypernodeMisses, c.GlobalMisses,
+		c.InvalsReceived, Imbalance(profiles))
+	return out
+}

@@ -1,0 +1,83 @@
+package cxpa
+
+import (
+	"strings"
+	"testing"
+
+	"spp1000/internal/machine"
+	"spp1000/internal/threads"
+	"spp1000/internal/topology"
+)
+
+func TestSnapshotBreakdown(t *testing.T) {
+	m, err := machine.New(machine.Config{Hypernodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := m.Alloc("data", topology.NearShared, 0, 0)
+	bar := threads.NewBarrier(m, 4, 0)
+	_, ths, err := threads.RunTeamThreads(m, 4, threads.HighLocality, func(th *machine.Thread, tid int) {
+		th.ComputeCycles(int64(1000 * (tid + 1))) // deliberately imbalanced
+		th.Read(shared, topology.Addr(tid*1024))
+		bar.Wait(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := Snapshot(ths)
+	if len(profiles) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(profiles))
+	}
+	for i, p := range profiles {
+		if p.Busy < 1000 {
+			t.Errorf("thread %d busy = %v, want ≥1000 cycles", i, p.Busy)
+		}
+		if p.MemStall <= 0 {
+			t.Errorf("thread %d has no memory stall despite a cold read", i)
+		}
+		if p.Total != p.Busy+p.MemStall+p.SyncWait {
+			t.Errorf("thread %d total inconsistent", i)
+		}
+	}
+	// The first-arriving (least busy) thread waits longest at the barrier.
+	if profiles[0].SyncWait <= profiles[3].SyncWait {
+		t.Errorf("thread 0 (early) should out-wait thread 3 (late): %v vs %v",
+			profiles[0].SyncWait, profiles[3].SyncWait)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance(nil); got != 1 {
+		t.Fatalf("empty imbalance = %v", got)
+	}
+	even := []ThreadProfile{{Busy: 100}, {Busy: 100}}
+	if got := Imbalance(even); got != 1 {
+		t.Fatalf("balanced = %v, want 1", got)
+	}
+	skew := []ThreadProfile{{Busy: 100}, {Busy: 300}}
+	if got := Imbalance(skew); got != 1.5 {
+		t.Fatalf("skewed = %v, want 1.5 (300/200)", got)
+	}
+	zero := []ThreadProfile{{Busy: 0}, {Busy: 0}}
+	if got := Imbalance(zero); got != 1 {
+		t.Fatalf("zero busy = %v, want 1", got)
+	}
+}
+
+func TestRenderContainsCounters(t *testing.T) {
+	m, _ := machine.New(machine.Config{Hypernodes: 1})
+	shared := m.Alloc("x", topology.NearShared, 0, 0)
+	_, ths, err := threads.RunTeamThreads(m, 2, threads.HighLocality, func(th *machine.Thread, tid int) {
+		th.Read(shared, 0)
+		th.ComputeCycles(500)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render("profile", m, Snapshot(ths))
+	for _, want := range []string{"profile", "busy", "mem stall", "sync wait", "machine counters", "load imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"spp1000/internal/apps/fem"
+	"spp1000/internal/apps/nbody"
+	"spp1000/internal/apps/pic"
+	"spp1000/internal/apps/ppm"
+	"spp1000/internal/microbench"
+	"spp1000/internal/stats"
+)
+
+// Report is the machine-readable form of the reproduction: every paper
+// artifact as structured data. The simulation is deterministic, so two
+// runs with equal options marshal to identical bytes.
+type Report struct {
+	// Fig2: fork-join µs vs. threads.
+	Fig2 struct {
+		HighLocality *stats.Series `json:"highLocality"`
+		Uniform      *stats.Series `json:"uniform"`
+	} `json:"fig2"`
+	// Fig3: barrier µs vs. threads (4 curves).
+	Fig3 []*stats.Series `json:"fig3"`
+	// Fig4: message round-trip µs vs. bytes.
+	Fig4 struct {
+		Local  *stats.Series `json:"local"`
+		Global *stats.Series `json:"global"`
+	} `json:"fig4"`
+	// Tab1: the C90 reference rows.
+	Tab1 []struct {
+		Mesh      string  `json:"mesh"`
+		Particles int     `json:"particles"`
+		Mflops    float64 `json:"mflops"`
+		Seconds   float64 `json:"seconds"`
+	} `json:"tab1"`
+	// Fig6: PIC results per (size, variant, procs).
+	Fig6 []pic.Result `json:"fig6"`
+	// Fig7: FEM results.
+	Fig7 []fem.Result `json:"fig7"`
+	// Fig8: N-body results.
+	Fig8 []nbody.Result `json:"fig8"`
+	// Tab2: PPM results.
+	Tab2 []ppm.Result `json:"tab2"`
+}
+
+// BuildReport runs the paper artifacts and returns the structured form.
+func BuildReport(o Options) (*Report, error) {
+	r := &Report{}
+	var err error
+	if r.Fig2.HighLocality, r.Fig2.Uniform, err = microbench.ForkJoinSweep(2, 16); err != nil {
+		return nil, err
+	}
+	if r.Fig3, err = microbench.BarrierSweep(2, 16); err != nil {
+		return nil, err
+	}
+	if r.Fig4.Local, r.Fig4.Global, err = microbench.MessageSweep(); err != nil {
+		return nil, err
+	}
+	for _, size := range []pic.Size{pic.Small, pic.Large} {
+		sec, rate := pic.C90Reference(size, 500)
+		r.Tab1 = append(r.Tab1, struct {
+			Mesh      string  `json:"mesh"`
+			Particles int     `json:"particles"`
+			Mflops    float64 `json:"mflops"`
+			Seconds   float64 `json:"seconds"`
+		}{size.String(), size.Particles(), rate, sec})
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			rs, err := pic.RunShared(size, p, o.PICSteps)
+			if err != nil {
+				return nil, err
+			}
+			r.Fig6 = append(r.Fig6, rs)
+			rp, err := pic.RunPVM(size, p, o.PICSteps)
+			if err != nil {
+				return nil, err
+			}
+			r.Fig6 = append(r.Fig6, rp)
+		}
+	}
+	for _, p := range []int{1, 2, 4, 8, 9, 12, 16} {
+		res, err := fem.Run(fem.SmallGrid, fem.GatherScatter, p, o.AppSteps)
+		if err != nil {
+			return nil, err
+		}
+		r.Fig7 = append(r.Fig7, res)
+	}
+	for _, n := range o.NBodySizes {
+		w := nbody.CountWorkload(n, o.NBodySample, o.Seed)
+		for _, cfg := range []struct{ p, hn int }{{1, 1}, {8, 1}, {8, 2}, {16, 2}} {
+			res, err := nbody.Run(w, cfg.p, cfg.hn, o.AppSteps)
+			if err != nil {
+				return nil, err
+			}
+			r.Fig8 = append(r.Fig8, res)
+		}
+	}
+	var err2 error
+	if r.Tab2, err2 = ppm.Table2(o.AppSteps); err2 != nil {
+		return nil, err2
+	}
+	return r, nil
+}
+
+// JSON marshals the report with stable indentation.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

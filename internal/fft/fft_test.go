@@ -1,0 +1,203 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"spp1000/internal/rng"
+)
+
+// dft is the O(n²) reference transform.
+func dft(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			out[k] += x[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+func approxEq(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+		}
+		want := dft(x)
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !approxEq(x[i], want[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d: FFT[%d] = %v, DFT = %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNonPow2Rejected(t *testing.T) {
+	if err := Forward(make([]complex128, 12)); err == nil {
+		t.Fatal("length 12 should be rejected")
+	}
+	if err := Inverse(make([]complex128, 0)); err == nil {
+		t.Fatal("length 0 should be rejected")
+	}
+	if _, err := NewGrid3(4, 6, 4); err == nil {
+		t.Fatal("6 should be rejected as a grid dimension")
+	}
+}
+
+// Property: Inverse(Forward(x)) == x.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed uint64, lg uint8) bool {
+		n := 1 << (lg%8 + 1)
+		r := rng.New(seed)
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Float64()*10-5, r.Float64()*10-5)
+			orig[i] = x[i]
+		}
+		if Forward(x) != nil || Inverse(x) != nil {
+			return false
+		}
+		for i := range x {
+			if !approxEq(x[i], orig[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval — energy preserved up to 1/N scaling.
+func TestParsevalProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		n := 64
+		r := rng.New(seed)
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			x[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if Forward(x) != nil {
+			return false
+		}
+		var freqE float64
+		for i := range x {
+			freqE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		return math.Abs(freqE/float64(n)-timeE) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid3RoundTrip(t *testing.T) {
+	g, err := NewGrid3(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(r.Float64(), 0)
+		orig[i] = g.Data[i]
+	}
+	if err := Forward3(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse3(g); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if !approxEq(g.Data[i], orig[i], 1e-9) {
+			t.Fatalf("3-D round trip differs at %d: %v vs %v", i, g.Data[i], orig[i])
+		}
+	}
+}
+
+// TestPoissonPlaneWave: for ρ = cos(2πm·x/n), the solution of ∇²φ = −ρ
+// with the discrete k is φ = ρ / k_eff².
+func TestPoissonPlaneWave(t *testing.T) {
+	n, m := 32, 3
+	g, _ := NewGrid3(n, 1, 1)
+	for i := 0; i < n; i++ {
+		g.Data[i] = complex(math.Cos(2*math.Pi*float64(m)*float64(i)/float64(n)), 0)
+	}
+	phi, _ := NewGrid3(n, 1, 1)
+	if err := SolvePoisson(g, phi); err != nil {
+		t.Fatal(err)
+	}
+	keff := 2 * math.Sin(math.Pi*float64(m)/float64(n))
+	for i := 0; i < n; i++ {
+		want := math.Cos(2*math.Pi*float64(m)*float64(i)/float64(n)) / (keff * keff)
+		if math.Abs(real(phi.Data[i])-want) > 1e-9 {
+			t.Fatalf("phi[%d] = %v, want %v", i, real(phi.Data[i]), want)
+		}
+		if math.Abs(imag(phi.Data[i])) > 1e-9 {
+			t.Fatalf("phi[%d] has imaginary part %v", i, imag(phi.Data[i]))
+		}
+	}
+}
+
+// TestPoissonDiscreteLaplacian: applying the 7-point discrete Laplacian
+// to the solution recovers −ρ (up to the removed mean).
+func TestPoissonDiscreteLaplacian(t *testing.T) {
+	nx, ny, nz := 8, 8, 8
+	rho, _ := NewGrid3(nx, ny, nz)
+	r := rng.New(17)
+	var mean float64
+	for i := range rho.Data {
+		v := r.Float64() - 0.5
+		rho.Data[i] = complex(v, 0)
+		mean += v
+	}
+	mean /= float64(len(rho.Data))
+	phi, _ := NewGrid3(nx, ny, nz)
+	if err := SolvePoisson(rho, phi); err != nil {
+		t.Fatal(err)
+	}
+	wrap := func(i, n int) int { return (i + n) % n }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				lap := real(phi.At(wrap(i+1, nx), j, k)) + real(phi.At(wrap(i-1, nx), j, k)) +
+					real(phi.At(i, wrap(j+1, ny), k)) + real(phi.At(i, wrap(j-1, ny), k)) +
+					real(phi.At(i, j, wrap(k+1, nz))) + real(phi.At(i, j, wrap(k-1, nz))) -
+					6*real(phi.At(i, j, k))
+				want := -(real(rho.At(i, j, k)) - mean)
+				if math.Abs(lap-want) > 1e-8 {
+					t.Fatalf("Laplacian mismatch at (%d,%d,%d): %v vs %v", i, j, k, lap, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFlopsEstimates(t *testing.T) {
+	if Flops(1) != 0 {
+		t.Fatal("Flops(1) should be 0")
+	}
+	if Flops(1024) != int64(5*1024*10) {
+		t.Fatalf("Flops(1024) = %d", Flops(1024))
+	}
+	if Flops3(4, 4, 4) <= 0 {
+		t.Fatal("Flops3 should be positive")
+	}
+}

@@ -1,0 +1,168 @@
+// Package machine is the public façade of the SPP-1000 simulator: it
+// assembles the event kernel, topology, and memory system into a Machine
+// on which simulated threads execute. Programs obtain Threads bound to
+// CPUs, touch memory through Read/Write (playing the full coherence
+// machinery), and charge bulk numerical work through Compute. All times
+// are virtual: cycles of the simulated 100 MHz clock.
+package machine
+
+import (
+	"fmt"
+
+	"spp1000/internal/memsys"
+	"spp1000/internal/sim"
+	"spp1000/internal/topology"
+	"spp1000/internal/trace"
+)
+
+// Config selects a machine variant.
+type Config struct {
+	// Hypernodes is the number of hypernodes (1..16); 8 CPUs each.
+	Hypernodes int
+	// Params overrides the calibrated machine parameters (nil = default).
+	Params *topology.Params
+	// CacheLines scales down the per-CPU cache for fine-grained
+	// experiments (0 = the architectural 32768 lines).
+	CacheLines int
+}
+
+// Machine is one simulated SPP-1000.
+type Machine struct {
+	K    *sim.Kernel
+	Topo topology.Topology
+	P    topology.Params
+	Mem  *memsys.System
+	// Trace, when non-nil, records every thread's busy / memory /
+	// synchronization intervals for timeline rendering.
+	Trace *trace.Recorder
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	topo, err := topology.New(cfg.Hypernodes)
+	if err != nil {
+		return nil, err
+	}
+	p := topology.DefaultParams()
+	if cfg.Params != nil {
+		p = *cfg.Params
+	}
+	m := &Machine{
+		K:    sim.NewKernel(),
+		Topo: topo,
+		P:    p,
+		Mem:  memsys.New(topo, p, cfg.CacheLines),
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on configuration errors (for examples/tests).
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Alloc registers a memory object of the given class and returns its
+// space handle. host is the hosting hypernode for NearShared data and
+// blockBytes the distribution unit for BlockShared data.
+func (m *Machine) Alloc(name string, class topology.Class, host, blockBytes int) topology.Space {
+	return m.Mem.Alloc(name, class, host, blockBytes)
+}
+
+// Thread is a flow of control bound to one CPU of the machine.
+type Thread struct {
+	M   *Machine
+	P   *sim.Proc
+	CPU topology.CPUID
+	// slowdown stretches Compute time (OS intrusion on a saturated
+	// machine; 0 = none).
+	slowdown float64
+
+	// Per-thread time breakdown, the CXpa-style instrumentation the
+	// paper's §6 credits for its optimization work. Busy accumulates
+	// compute, MemStall memory-access latency, SyncWait time parked in
+	// synchronization primitives (filled by the threads package).
+	Busy     sim.Time
+	MemStall sim.Time
+	SyncWait sim.Time
+}
+
+// Spawn starts fn as a simulated thread on the given CPU.
+func (m *Machine) Spawn(name string, cpu topology.CPUID, fn func(th *Thread)) *Thread {
+	th := &Thread{M: m}
+	th.CPU = cpu
+	th.P = m.K.Spawn(name, func(p *sim.Proc) { fn(th) })
+	return th
+}
+
+// SpawnAt is Spawn starting at absolute virtual time t.
+func (m *Machine) SpawnAt(t sim.Time, name string, cpu topology.CPUID, fn func(th *Thread)) *Thread {
+	th := &Thread{M: m, CPU: cpu}
+	th.P = m.K.SpawnAt(t, name, func(p *sim.Proc) { fn(th) })
+	return th
+}
+
+// Run executes the simulation to completion.
+func (m *Machine) Run() error { return m.K.Run() }
+
+// Now reports the current virtual time.
+func (m *Machine) Now() sim.Time { return m.K.Now() }
+
+// SetSlowdown stretches this thread's Compute durations by factor f
+// (e.g. 0.04 = 4% stolen by the OS).
+func (th *Thread) SetSlowdown(f float64) { th.slowdown = f }
+
+// Now reports the thread's current virtual time.
+func (th *Thread) Now() sim.Time { return th.P.Now() }
+
+// Read plays a load of addr in space sp through the memory system,
+// blocking the thread for the access latency.
+func (th *Thread) Read(sp topology.Space, addr topology.Addr) memsys.Report {
+	rep := th.M.Mem.Access(th.P.Now(), th.CPU, sp, addr, false)
+	th.MemStall += rep.Done - th.P.Now()
+	th.M.Trace.Record(th.P.Name(), trace.Mem, th.P.Now(), rep.Done)
+	th.P.Delay(rep.Done - th.P.Now())
+	return rep
+}
+
+// Write plays a store, blocking for the full ownership acquisition.
+func (th *Thread) Write(sp topology.Space, addr topology.Addr) memsys.Report {
+	rep := th.M.Mem.Access(th.P.Now(), th.CPU, sp, addr, true)
+	th.MemStall += rep.Done - th.P.Now()
+	th.M.Trace.Record(th.P.Name(), trace.Mem, th.P.Now(), rep.Done)
+	th.P.Delay(rep.Done - th.P.Now())
+	return rep
+}
+
+// RMW plays an uncached atomic read-modify-write (semaphore cell).
+func (th *Thread) RMW(sp topology.Space, addr topology.Addr) {
+	done := th.M.Mem.UncachedRMW(th.P.Now(), th.CPU, sp, addr)
+	th.MemStall += done - th.P.Now()
+	th.M.Trace.Record(th.P.Name(), trace.Mem, th.P.Now(), done)
+	th.P.Delay(done - th.P.Now())
+}
+
+// ComputeCycles blocks the thread for n cycles of pure computation,
+// stretched by any configured slowdown.
+func (th *Thread) ComputeCycles(n int64) {
+	if n <= 0 {
+		return
+	}
+	if th.slowdown > 0 {
+		n = int64(float64(n) * (1 + th.slowdown))
+	}
+	th.Busy += sim.Time(n)
+	th.M.Trace.Record(th.P.Name(), trace.Busy, th.P.Now(), th.P.Now()+sim.Time(n))
+	th.P.Delay(sim.Time(n))
+}
+
+// Delay blocks the thread for d cycles (uninstrumented time).
+func (th *Thread) Delay(d sim.Time) { th.P.Delay(d) }
+
+// String identifies the thread.
+func (th *Thread) String() string {
+	return fmt.Sprintf("%s@%v", th.P.Name(), th.CPU)
+}

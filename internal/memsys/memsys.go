@@ -1,0 +1,549 @@
+// Package memsys composes the SPP-1000 memory hierarchy: per-CPU caches,
+// per-hypernode directories and crossbars, the global SCI protocol, and
+// the ring network. Its Access method plays one load or store through the
+// full machine, updating all coherence state and returning the completion
+// time — including queueing on banks, crossbar ports, and rings.
+package memsys
+
+import (
+	"fmt"
+
+	"spp1000/internal/cache"
+	"spp1000/internal/directory"
+	"spp1000/internal/ring"
+	"spp1000/internal/sci"
+	"spp1000/internal/sim"
+	"spp1000/internal/topology"
+)
+
+// spaceInfo is the allocation record of one memory object.
+type spaceInfo struct {
+	name       string
+	class      topology.Class
+	host       int // NearShared host hypernode
+	blockBytes int // BlockShared distribution unit
+}
+
+// Counters is the per-CPU CXpa-style instrumentation.
+type Counters struct {
+	Accesses        int64
+	Hits            int64
+	LocalMisses     int64 // served by the FU's own memory
+	HypernodeMisses int64 // served over the crossbar (incl. global-buffer hits)
+	GlobalMisses    int64 // served over an SCI ring
+	InvalsReceived  int64
+	StallCycles     int64 // total cycles waiting on memory
+}
+
+// System is the machine-wide memory system.
+type System struct {
+	Topo   topology.Topology
+	P      topology.Params
+	caches []*cache.Cache
+	dirs   []*directory.Directory
+	SCI    *sci.Protocol
+	Rings  *ring.Network
+	xports [][]sim.Resource // crossbar FU ports, per hypernode
+	banks  [][]sim.Resource // memory banks, per hypernode per FU
+	spaces []spaceInfo
+	Stats  []Counters // indexed by CPUID
+
+	// Ablation switches (see internal/ablation): DisableGlobalBuffer
+	// makes every access to a remotely-homed line a full ring
+	// transaction (no SCI caching of remote lines); SingleRing routes
+	// all inter-hypernode traffic over ring 0 instead of one ring per
+	// functional unit.
+	DisableGlobalBuffer bool
+	SingleRing          bool
+
+	// The global cache buffer is carved out of functional-unit memory
+	// (§2.5), so it is finite: bufferCap lines per hypernode, evicted
+	// FIFO with an SCI rollout (list detach) per victim.
+	bufferCap  int
+	bufferFIFO [][]topology.LineKey
+}
+
+// DefaultBufferLines is the default per-hypernode global-buffer
+// capacity: 2 MB out of each functional unit's memory × 4 FUs.
+const DefaultBufferLines = 4 * (2 << 20) / topology.CacheLineBytes
+
+// SetBufferCapacity overrides the per-hypernode global-buffer line
+// capacity (for capacity experiments; minimum 1).
+func (s *System) SetBufferCapacity(lines int) {
+	if lines < 1 {
+		lines = 1
+	}
+	s.bufferCap = lines
+}
+
+// New builds the memory system for a machine, using custom cache geometry
+// when cacheLines > 0 (tests; 0 means the architectural 32768 lines).
+func New(topo topology.Topology, p topology.Params, cacheLines int) *System {
+	s := &System{Topo: topo, P: p}
+	n := topo.NumCPUs()
+	s.caches = make([]*cache.Cache, n)
+	for i := range s.caches {
+		if cacheLines > 0 {
+			s.caches[i] = cache.NewWithLines(cacheLines)
+		} else {
+			s.caches[i] = cache.New()
+		}
+	}
+	s.dirs = make([]*directory.Directory, topo.Hypernodes)
+	s.xports = make([][]sim.Resource, topo.Hypernodes)
+	s.banks = make([][]sim.Resource, topo.Hypernodes)
+	for hn := 0; hn < topo.Hypernodes; hn++ {
+		s.dirs[hn] = directory.New(hn)
+		s.xports[hn] = make([]sim.Resource, topology.FUsPerNode)
+		s.banks[hn] = make([]sim.Resource, topology.FUsPerNode)
+	}
+	s.SCI = sci.New(topo.Hypernodes)
+	s.Rings = ring.New(topo, p)
+	s.Stats = make([]Counters, n)
+	s.bufferCap = DefaultBufferLines
+	s.bufferFIFO = make([][]topology.LineKey, topo.Hypernodes)
+	return s
+}
+
+// Alloc registers a memory object and returns its space handle.
+// host is the hosting hypernode for NearShared; blockBytes the
+// distribution unit for BlockShared (both ignored otherwise).
+func (s *System) Alloc(name string, class topology.Class, host, blockBytes int) topology.Space {
+	s.spaces = append(s.spaces, spaceInfo{name: name, class: class, host: host, blockBytes: blockBytes})
+	return topology.Space(len(s.spaces) - 1)
+}
+
+// SpaceClass reports the memory class of a space.
+func (s *System) SpaceClass(sp topology.Space) topology.Class { return s.spaces[sp].class }
+
+// Cache exposes one CPU's cache (for tests and diagnostics).
+func (s *System) Cache(cpu topology.CPUID) *cache.Cache { return s.caches[cpu] }
+
+// Directory exposes one hypernode's directory.
+func (s *System) Directory(hn int) *directory.Directory { return s.dirs[hn] }
+
+// Invalidation records that a CPU's cached copy was killed at a time.
+type Invalidation struct {
+	CPU topology.CPUID
+	At  sim.Time
+}
+
+// Report describes one access: when it completed and whom it invalidated
+// (used by spin-wait modeling to release waiters at the right instants).
+type Report struct {
+	Done        sim.Time
+	Invalidated []Invalidation
+	WasHit      bool
+	WasGlobal   bool
+}
+
+// Home resolves the line's home placement for an accessor.
+func (s *System) Home(sp topology.Space, addr topology.Addr, cpu topology.CPUID) topology.Placement {
+	info := s.spaces[sp]
+	return s.Topo.Home(info.class, addr, cpu, info.host, info.blockBytes)
+}
+
+// Access plays one load (write=false) or store (write=true) of the word
+// at addr in space sp by cpu, starting at now. All coherence state is
+// updated; the report carries the completion time.
+func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, addr topology.Addr, write bool) Report {
+	if int(sp) >= len(s.spaces) {
+		panic(fmt.Sprintf("memsys: access to unallocated space %d", sp))
+	}
+	key := topology.LineKey{Space: sp, Line: addr.Line()}
+	st := &s.Stats[cpu]
+	st.Accesses++
+
+	c := s.caches[cpu]
+	myHN := cpu.Hypernode()
+	home := s.Home(sp, addr, cpu)
+
+	// Fast path: cache hit. A write hit still needs exclusivity if the
+	// line is shared elsewhere.
+	if c.Contains(key) {
+		if !write || c.Dirty(key) {
+			st.Hits++
+			c.Access(key, write)
+			return Report{Done: now + sim.Time(s.P.CacheHit), WasHit: true}
+		}
+		// Write to a shared (clean) cached line: upgrade.
+		rep := s.acquireOwnership(now+sim.Time(s.P.CacheHit), cpu, key, home)
+		c.Access(key, true)
+		st.Hits++
+		st.StallCycles += int64(rep.Done - now)
+		rep.WasHit = true
+		return rep
+	}
+
+	// Miss: fill the line, handling the eviction first.
+	res := c.Access(key, write)
+	if res.WritebackNeeded {
+		// Dirty eviction: the home directory forgets us; the writeback
+		// itself is buffered and charged as fixed cycles.
+		s.dropEvicted(res.Evicted, cpu)
+		now += sim.Time(s.P.WriteBack)
+	} else if res.HadEviction {
+		s.dropEvicted(res.Evicted, cpu)
+	}
+
+	var rep Report
+	if home.Hypernode == myHN {
+		rep = s.localFill(now, cpu, key, home, write)
+	} else if !s.DisableGlobalBuffer && s.SCI.InBuffer(myHN, key) {
+		rep = s.bufferFill(now, cpu, key, home, write)
+	} else {
+		rep = s.globalFill(now, cpu, key, home, write)
+		rep.WasGlobal = true
+		st.GlobalMisses++
+	}
+	st.StallCycles += int64(rep.Done - now)
+	return rep
+}
+
+// acquireOwnership upgrades a clean cached line to exclusive dirty:
+// invalidate the other local copies through the directory and purge any
+// remote hypernodes on the SCI list.
+func (s *System) acquireOwnership(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement) Report {
+	myHN := cpu.Hypernode()
+	rep := Report{}
+	t := now + sim.Time(s.P.DirLookup)
+	acts := s.dirs[myHN].RecordWrite(key, cpu)
+	for _, victim := range acts.InvalidateLocal {
+		t += sim.Time(s.P.InvalPerCopy)
+		s.caches[victim].Invalidate(key)
+		s.Stats[victim].InvalsReceived++
+		rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
+	}
+	keep := -1
+	if home.Hypernode != myHN {
+		keep = myHN // our buffered copy stays, now exclusive
+		// The ownership request itself must reach the home's directory.
+		t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Time(s.P.CrossbarTransit))
+		t = s.Rings.RoundTrip(t, s.ring(home.FU), myHN, home.Hypernode, topology.CacheLineBytes)
+	}
+	t = s.purgeRemote(t, myHN, s.ring(home.FU), key, keep, &rep)
+	// A write to a line homed at another hypernode must also kill any
+	// copies cached at the home itself.
+	if home.Hypernode != myHN {
+		for _, victim := range s.dirs[home.Hypernode].PurgeLine(key) {
+			t += sim.Time(s.P.InvalPerCopy)
+			s.caches[victim].Invalidate(key)
+			s.Stats[victim].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
+		}
+	}
+	rep.Done = t
+	return rep
+}
+
+// dropEvicted removes an evicted line from the tracking directory
+// (of the hypernode that tracks the CPU's copy: always the CPU's own).
+func (s *System) dropEvicted(key topology.LineKey, cpu topology.CPUID) {
+	s.dirs[cpu.Hypernode()].DropCPU(key, cpu)
+}
+
+// localFill serves a miss whose home is in the requester's hypernode.
+func (s *System) localFill(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
+	myHN := cpu.Hypernode()
+	d := s.dirs[myHN]
+	rep := Report{}
+	t := now + sim.Time(s.P.DirLookup)
+
+	if write {
+		acts := d.RecordWrite(key, cpu)
+		if acts.HasPreviousOwner {
+			t += sim.Time(s.P.WriteBack)
+			s.caches[acts.PreviousOwner].Invalidate(key)
+			s.Stats[acts.PreviousOwner].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: acts.PreviousOwner, At: t})
+		}
+		for _, victim := range acts.InvalidateLocal {
+			t += sim.Time(s.P.InvalPerCopy)
+			s.caches[victim].Invalidate(key)
+			s.Stats[victim].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
+		}
+		// Remote hypernodes holding buffered copies must be purged.
+		t = s.purgeRemote(t, myHN, s.ring(home.FU), key, -1, &rep)
+	} else {
+		acts := d.RecordRead(key, cpu)
+		if acts.HasDirtyOwner {
+			t += sim.Time(s.P.WriteBack)
+			s.caches[acts.DirtyOwner].Clean(key)
+		}
+	}
+
+	// Memory fetch: bank occupancy plus the latency of the path.
+	bankDone := s.banks[myHN][home.FU].Reserve(t, sim.Time(s.P.MemoryBankBusy))
+	queue := bankDone - t - sim.Time(s.P.MemoryBankBusy)
+	if home.FU == cpu.FU() {
+		t += sim.Time(s.P.LocalMiss) + queue
+		s.Stats[cpu].LocalMisses++
+	} else {
+		t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Time(s.P.CrossbarTransit))
+		t += sim.Time(s.P.HypernodeMiss-s.P.CrossbarTransit) + queue
+		s.Stats[cpu].HypernodeMisses++
+	}
+	rep.Done = t
+	return rep
+}
+
+// bufferFill serves a miss on a remotely-homed line already present in
+// this hypernode's global cache buffer: crossbar-cost service.
+func (s *System) bufferFill(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
+	myHN := cpu.Hypernode()
+	d := s.dirs[myHN]
+	rep := Report{}
+	t := now + sim.Time(s.P.DirLookup)
+
+	if write {
+		acts := d.RecordWrite(key, cpu)
+		if acts.HasPreviousOwner {
+			t += sim.Time(s.P.WriteBack)
+			s.caches[acts.PreviousOwner].Invalidate(key)
+			s.Stats[acts.PreviousOwner].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: acts.PreviousOwner, At: t})
+		}
+		for _, victim := range acts.InvalidateLocal {
+			t += sim.Time(s.P.InvalPerCopy)
+			s.caches[victim].Invalidate(key)
+			s.Stats[victim].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
+		}
+		// Exclusivity across the machine: purge every other hypernode,
+		// and any copies cached at the home hypernode itself.
+		t = s.purgeRemote(t, myHN, s.ring(home.FU), key, myHN, &rep)
+		if victims := s.dirs[home.Hypernode].PurgeLine(key); len(victims) > 0 {
+			t = s.Rings.Send(t, s.ring(home.FU), myHN, home.Hypernode, topology.CacheLineBytes)
+			for _, victim := range victims {
+				t += sim.Time(s.P.InvalPerCopy)
+				s.caches[victim].Invalidate(key)
+				s.Stats[victim].InvalsReceived++
+				rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
+			}
+		}
+	} else {
+		acts := d.RecordRead(key, cpu)
+		if acts.HasDirtyOwner {
+			t += sim.Time(s.P.WriteBack)
+			s.caches[acts.DirtyOwner].Clean(key)
+		}
+	}
+
+	// The buffer lives in the FU attached to the home line's ring.
+	bufFU := home.FU
+	bankDone := s.banks[myHN][bufFU].Reserve(t, sim.Time(s.P.MemoryBankBusy))
+	queue := bankDone - t - sim.Time(s.P.MemoryBankBusy)
+	if bufFU == cpu.FU() {
+		t += sim.Time(s.P.LocalMiss) + queue
+		s.Stats[cpu].LocalMisses++
+	} else {
+		t = s.crossbar(t, myHN, cpu.FU(), bufFU, sim.Time(s.P.CrossbarTransit))
+		t += sim.Time(s.P.HypernodeMiss-s.P.CrossbarTransit) + queue
+		s.Stats[cpu].HypernodeMisses++
+	}
+	rep.Done = t
+	return rep
+}
+
+// globalFill serves a miss that must cross the rings: crossbar to the
+// ring FU, SCI transaction to the home, install in the buffer, attach to
+// the sharing list.
+func (s *System) globalFill(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
+	myHN := cpu.Hypernode()
+	rep := Report{}
+	ringIdx := s.ring(home.FU) // FU i of every hypernode attaches to ring i
+
+	// Crossbar leg to the local FU on the right ring.
+	t := s.crossbar(now, myHN, cpu.FU(), ringIdx, sim.Time(s.P.CrossbarTransit))
+
+	// Ring round trip: request out, line back.
+	t = s.Rings.RoundTrip(t, ringIdx, myHN, home.Hypernode, topology.CacheLineBytes)
+	t += sim.Time(s.P.RemoteDirLookup)
+
+	// Remote memory bank service.
+	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Time(s.P.MemoryBankBusy))
+	t = bankDone - sim.Time(s.P.MemoryBankBusy) + sim.Time(s.P.LocalMiss)
+
+	// If a CPU at the home hypernode holds the line dirty, the home
+	// controller intervenes before supplying it.
+	if owner, ok := s.dirs[home.Hypernode].Owner(key); ok {
+		t += sim.Time(s.P.WriteBack)
+		if write {
+			s.dirs[home.Hypernode].PurgeLine(key)
+			s.caches[owner].Invalidate(key)
+			s.Stats[owner].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: owner, At: t})
+		} else {
+			s.caches[owner].Clean(key)
+			s.dirs[home.Hypernode].RecordRead(key, owner) // downgrade to shared
+		}
+	} else if write {
+		// Any clean copies at the home hypernode must also die.
+		for _, victim := range s.dirs[home.Hypernode].PurgeLine(key) {
+			t += sim.Time(s.P.InvalPerCopy)
+			s.caches[victim].Invalidate(key)
+			s.Stats[victim].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
+		}
+	}
+
+	// Install in the local global buffer and attach to the SCI list,
+	// rolling out the oldest buffered line if the buffer is full.
+	t += sim.Time(s.P.GlobalBufferFill)
+	if s.SCI.Attach(key, home.Hypernode, myHN) == 0 {
+		s.bufferFIFO[myHN] = append(s.bufferFIFO[myHN], key)
+		t = s.evictIfFull(t, myHN, ringIdx)
+	}
+
+	if write {
+		// Fetch-exclusive: purge every other sharer.
+		t = s.purgeRemote(t, myHN, s.ring(home.FU), key, myHN, &rep)
+		s.dirs[myHN].RecordWrite(key, cpu)
+	} else {
+		s.dirs[myHN].RecordRead(key, cpu)
+	}
+
+	// Crossbar leg back to the requesting CPU's FU.
+	t = s.crossbar(t, myHN, ringIdx, cpu.FU(), sim.Time(s.P.CrossbarTransit))
+	rep.Done = t
+	return rep
+}
+
+// evictIfFull rolls the oldest buffered lines out of hypernode hn's
+// global cache buffer until it is within capacity: the SCI sharing-list
+// detach costs a ring transaction, and any locally cached copies of the
+// victim die with it.
+func (s *System) evictIfFull(now sim.Time, hn, ringIdx int) sim.Time {
+	t := now
+	fifo := s.bufferFIFO[hn]
+	if len(fifo) <= s.bufferCap {
+		return t // cannot be over capacity
+	}
+	live := 0
+	for _, k := range fifo {
+		if s.SCI.InBuffer(hn, k) {
+			live++
+		}
+	}
+	if live <= s.bufferCap {
+		// Compact out the dead entries so the FIFO stays short.
+		kept := fifo[:0]
+		for _, k := range fifo {
+			if s.SCI.InBuffer(hn, k) {
+				kept = append(kept, k)
+			}
+		}
+		s.bufferFIFO[hn] = kept
+		return t
+	}
+	for live > s.bufferCap && len(fifo) > 0 {
+		victim := fifo[0]
+		fifo = fifo[1:]
+		if !s.SCI.InBuffer(hn, victim) {
+			continue // already purged by a writer
+		}
+		s.SCI.Detach(victim, hn)
+		live--
+		// SCI rollout: patch the sharing-list neighbours over the ring.
+		t = s.Rings.Send(t, ringIdx, hn, s.Home(victim.Space, topology.Addr(victim.Line*topology.CacheLineBytes), topology.MakeCPU(hn, 0, 0)).Hypernode, topology.CacheLineBytes)
+		t += sim.Time(s.P.SCIListVisit)
+		for _, cpu := range s.dirs[hn].PurgeLine(victim) {
+			s.caches[cpu].Invalidate(victim)
+			s.Stats[cpu].InvalsReceived++
+		}
+	}
+	s.bufferFIFO[hn] = fifo
+	return t
+}
+
+// ring maps a home functional unit to its SCI ring (ring 0 for
+// everything under the single-ring ablation).
+func (s *System) ring(fu int) int {
+	if s.SingleRing {
+		return 0
+	}
+	return fu
+}
+
+// purgeRemote walks the SCI sharing list of key, invalidating the
+// buffered copy (and any cached copies) in every hypernode except keep
+// (-1 purges all). The walk is serial, as SCI prescribes. Invalidation
+// times of remote CPUs are appended to rep.
+func (s *System) purgeRemote(now sim.Time, fromHN, ringIdx int, key topology.LineKey, keep int, rep *Report) sim.Time {
+	var victims []int
+	if keep < 0 {
+		victims = s.SCI.Purge(key)
+	} else {
+		victims = s.SCI.PurgeExcept(key, keep)
+	}
+	t := now
+	at := fromHN
+	for _, hn := range victims {
+		t = s.Rings.Send(t, ringIdx, at, hn, topology.CacheLineBytes)
+		t += sim.Time(s.P.SCIListVisit)
+		for _, cpu := range s.dirs[hn].PurgeLine(key) {
+			t += sim.Time(s.P.InvalPerCopy)
+			s.caches[cpu].Invalidate(key)
+			s.Stats[cpu].InvalsReceived++
+			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: cpu, At: t})
+		}
+		at = hn
+	}
+	return t
+}
+
+// crossbar books a traversal between two FU ports of a hypernode.
+func (s *System) crossbar(now sim.Time, hn, srcFU, dstFU int, dur sim.Time) sim.Time {
+	if srcFU == dstFU {
+		return now + dur
+	}
+	start := now
+	if f := s.xports[hn][srcFU].FreeAt(); f > start {
+		start = f
+	}
+	if f := s.xports[hn][dstFU].FreeAt(); f > start {
+		start = f
+	}
+	s.xports[hn][srcFU].Reserve(start, dur)
+	s.xports[hn][dstFU].Reserve(start, dur)
+	return start + dur
+}
+
+// UncachedRMW models an atomic read-modify-write on an uncached cell
+// (the counting semaphores of the barrier primitive, paper §4.2): it
+// bypasses the caches and serializes at the home memory bank.
+func (s *System) UncachedRMW(now sim.Time, cpu topology.CPUID, sp topology.Space, addr topology.Addr) sim.Time {
+	home := s.Home(sp, addr, cpu)
+	myHN := cpu.Hypernode()
+	var t sim.Time
+	if home.Hypernode == myHN {
+		t = now
+		if home.FU != cpu.FU() {
+			t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Time(s.P.CrossbarTransit))
+		}
+	} else {
+		ringIdx := s.ring(home.FU)
+		t = s.crossbar(now, myHN, cpu.FU(), ringIdx, sim.Time(s.P.CrossbarTransit))
+		t = s.Rings.RoundTrip(t, ringIdx, myHN, home.Hypernode, topology.CacheLineBytes)
+		t += sim.Time(s.P.RemoteDirLookup)
+	}
+	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Time(s.P.UncachedAccess))
+	return bankDone
+}
+
+// TotalCounters sums the per-CPU counters.
+func (s *System) TotalCounters() Counters {
+	var tot Counters
+	for i := range s.Stats {
+		c := s.Stats[i]
+		tot.Accesses += c.Accesses
+		tot.Hits += c.Hits
+		tot.LocalMisses += c.LocalMisses
+		tot.HypernodeMisses += c.HypernodeMisses
+		tot.GlobalMisses += c.GlobalMisses
+		tot.InvalsReceived += c.InvalsReceived
+		tot.StallCycles += c.StallCycles
+	}
+	return tot
+}

@@ -1,0 +1,145 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spp1000/internal/topology"
+)
+
+func TestCyclesPureFlops(t *testing.T) {
+	p := topology.DefaultParams()
+	c := Chunk{Flops: 1000}
+	if got := Cycles(p, c); got != 1000 {
+		t.Fatalf("1000 flops = %d cycles, want 1000 at 1 flop/cycle", got)
+	}
+}
+
+func TestCacheTrafficOverlapsFP(t *testing.T) {
+	p := topology.DefaultParams()
+	// Equal flops and hits: fully overlapped.
+	if got := Cycles(p, Chunk{Flops: 1000, CacheHits: 1000}); got != 1000 {
+		t.Fatalf("balanced chunk = %d cycles, want 1000", got)
+	}
+	// Memory-bound: hits dominate.
+	if got := Cycles(p, Chunk{Flops: 100, CacheHits: 1000}); got != 1000 {
+		t.Fatalf("memory-bound chunk = %d cycles, want 1000", got)
+	}
+}
+
+func TestMissesSerialize(t *testing.T) {
+	p := topology.DefaultParams()
+	base := Cycles(p, Chunk{Flops: 1000})
+	withLocal := Cycles(p, Chunk{Flops: 1000, LocalMisses: 10})
+	if withLocal != base+10*p.LocalMiss {
+		t.Fatalf("local misses mischarged: %d vs %d", withLocal, base+10*p.LocalMiss)
+	}
+	withGlobal := Cycles(p, Chunk{Flops: 1000, GlobalMisses: 10})
+	if withGlobal <= withLocal {
+		t.Fatal("global misses must cost more than local")
+	}
+}
+
+func TestDividesCost(t *testing.T) {
+	p := topology.DefaultParams()
+	if got := Cycles(p, Chunk{Divides: 10}); got != 10*DivideCycles {
+		t.Fatalf("10 divides = %d cycles", got)
+	}
+}
+
+func TestGlobalHopsDefault(t *testing.T) {
+	p := topology.DefaultParams()
+	a := Cycles(p, Chunk{GlobalMisses: 1})
+	b := Cycles(p, Chunk{GlobalMisses: 1, GlobalHops: 1})
+	if a != b {
+		t.Fatalf("zero hops should default to 1: %d vs %d", a, b)
+	}
+	c := Cycles(p, Chunk{GlobalMisses: 1, GlobalHops: 8})
+	if c <= b {
+		t.Fatal("more hops must cost more")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	var c Chunk
+	c.Add(Chunk{Flops: 100, CacheHits: 60, GlobalHops: 2})
+	c.Add(Chunk{Flops: 50, LocalMisses: 5})
+	if c.Flops != 150 || c.CacheHits != 60 || c.LocalMisses != 5 || c.GlobalHops != 2 {
+		t.Fatalf("accumulated chunk = %+v", c)
+	}
+	s := c.Scale(2)
+	if s.Flops != 75 || s.GlobalHops != 2 {
+		t.Fatalf("scaled chunk = %+v", s)
+	}
+	if c.Scale(1) != c || c.Scale(0) != c {
+		t.Fatal("degenerate scales should be identity")
+	}
+}
+
+func TestStreamMissFraction(t *testing.T) {
+	if f := StreamMissFraction(8); f != 0.25 {
+		t.Fatalf("8-byte stride = %v, want 0.25", f)
+	}
+	if f := StreamMissFraction(32); f != 1 {
+		t.Fatalf("line stride = %v, want 1", f)
+	}
+	if f := StreamMissFraction(64); f != 1 {
+		t.Fatalf("super-line stride = %v, want capped at 1", f)
+	}
+	if f := StreamMissFraction(0); f != 0.25 {
+		t.Fatalf("defaulted stride = %v, want 0.25", f)
+	}
+}
+
+func TestCapacityMissFraction(t *testing.T) {
+	if f := CapacityMissFraction(1<<19, 1<<20); f != 0 {
+		t.Fatalf("resident set miss fraction = %v, want 0", f)
+	}
+	f := CapacityMissFraction(2<<20, 1<<20)
+	if f != 0.5 {
+		t.Fatalf("2x cache = %v, want 0.5", f)
+	}
+	if CapacityMissFraction(100, 0) != 0 {
+		t.Fatal("zero cache should yield 0 (treated as disabled)")
+	}
+}
+
+func TestSweepMissFraction(t *testing.T) {
+	if f := SweepMissFraction(8, 1<<19, 1<<20); f != 0 {
+		t.Fatal("fitting sweep should not miss")
+	}
+	f := SweepMissFraction(8, 4<<20, 1<<20)
+	if f <= 0 || f > 0.25 {
+		t.Fatalf("sweep miss fraction = %v", f)
+	}
+}
+
+func TestSplitMisses(t *testing.T) {
+	hn, gl := SplitMisses(100, 1)
+	if hn != 100 || gl != 0 {
+		t.Fatalf("single hypernode split = %d,%d", hn, gl)
+	}
+	hn, gl = SplitMisses(100, 2)
+	if hn != 50 || gl != 50 {
+		t.Fatalf("two-hypernode split = %d,%d", hn, gl)
+	}
+	hn, gl = SplitMisses(100, 4)
+	if hn != 25 || gl != 75 {
+		t.Fatalf("four-hypernode split = %d,%d", hn, gl)
+	}
+}
+
+// Property: Cycles is monotone — adding work never reduces time.
+func TestCyclesMonotoneProperty(t *testing.T) {
+	p := topology.DefaultParams()
+	prop := func(f, h, l, g uint16) bool {
+		base := Chunk{Flops: int64(f), CacheHits: int64(h), LocalMisses: int64(l), GlobalMisses: int64(g)}
+		more := base
+		more.Flops += 10
+		more.GlobalMisses += 1
+		return Cycles(p, more) >= Cycles(p, base)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package pvm
+
+import (
+	"math"
+	"testing"
+
+	"spp1000/internal/machine"
+	"spp1000/internal/threads"
+	"spp1000/internal/topology"
+)
+
+// runGroup spins up n tasks across two hypernodes and runs body on each.
+func runGroup(t *testing.T, n int, body func(g *Group, me *Task, rank int)) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Hypernodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(m)
+	tasks := make([]*Task, n)
+	reg := m.K.NewSemaphore("reg", 0)
+	ready := m.K.NewEvent("ready")
+	var g *Group
+	_, err = threads.RunTeam(m, n, threads.HighLocality, func(th *machine.Thread, tid int) {
+		tasks[tid] = sys.AddTask(th)
+		reg.V()
+		if tid == 0 {
+			for i := 0; i < n; i++ {
+				reg.P(th.P)
+			}
+			var gerr error
+			g, gerr = NewGroup("team", tasks)
+			if gerr != nil {
+				t.Error(gerr)
+			}
+			ready.Set()
+		} else {
+			ready.Wait(th.P)
+		}
+		body(g, tasks[tid], tid)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectiveReceiveByTag(t *testing.T) {
+	m, _ := machine.New(machine.Config{Hypernodes: 1})
+	sys := NewSystem(m)
+	ready := m.K.NewEvent("ready")
+	var rx, tx *Task
+	var got []int
+	m.Spawn("rx", topology.MakeCPU(0, 1, 0), func(th *machine.Thread) {
+		rx = sys.AddTask(th)
+		ready.Set()
+		// Receive tag 5 first even though tag 3 arrives earlier.
+		got = append(got, rx.RecvFrom(-1, 5).Tag)
+		got = append(got, rx.RecvFrom(-1, -1).Tag) // then the stashed 3
+	})
+	m.Spawn("tx", topology.MakeCPU(0, 0, 0), func(th *machine.Thread) {
+		tx = sys.AddTask(th)
+		ready.Wait(th.P)
+		tx.Send(rx.ID(), 3, 64, nil)
+		tx.Send(rx.ID(), 5, 64, nil)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 5 || got[1] != 3 {
+		t.Fatalf("selective receive order = %v, want [5 3]", got)
+	}
+}
+
+func TestSelectiveReceiveBySource(t *testing.T) {
+	m, _ := machine.New(machine.Config{Hypernodes: 1})
+	sys := NewSystem(m)
+	ready := m.K.NewEvent("ready")
+	reg := m.K.NewSemaphore("reg", 0)
+	tasks := make([]*Task, 3)
+	var fromTwo int
+	_, err := threads.RunTeam(m, 3, threads.HighLocality, func(th *machine.Thread, tid int) {
+		tasks[tid] = sys.AddTask(th)
+		reg.V()
+		if tid == 0 {
+			for i := 0; i < 3; i++ {
+				reg.P(th.P)
+			}
+			ready.Set()
+			fromTwo = tasks[0].RecvFrom(tasks[2].ID(), -1).Src
+			tasks[0].Recv() // drain the other
+		} else {
+			ready.Wait(th.P)
+			tasks[tid].Send(tasks[0].ID(), tid, 32, nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromTwo != tasks[2].ID() {
+		t.Fatalf("RecvFrom(src=2) returned src %d", fromTwo)
+	}
+}
+
+func TestGroupBarrier(t *testing.T) {
+	arrived := make([]bool, 6)
+	runGroup(t, 6, func(g *Group, me *Task, rank int) {
+		me.Thread().ComputeCycles(int64(1000 * rank))
+		arrived[rank] = true
+		g.Barrier(me)
+		// After the barrier everyone must have arrived.
+		for r, a := range arrived {
+			if !a {
+				t.Errorf("rank %d passed the barrier before rank %d arrived", rank, r)
+			}
+		}
+	})
+}
+
+func TestGroupBcast(t *testing.T) {
+	data := []float64{3.14, 2.71}
+	runGroup(t, 4, func(g *Group, me *Task, rank int) {
+		var in []float64
+		if rank == 0 {
+			in = data
+		}
+		out := g.Bcast(me, in)
+		if len(out) != 2 || out[0] != 3.14 || out[1] != 2.71 {
+			t.Errorf("rank %d got %v", rank, out)
+		}
+	})
+}
+
+func TestGroupReduceSum(t *testing.T) {
+	runGroup(t, 4, func(g *Group, me *Task, rank int) {
+		in := []float64{float64(rank + 1), 1}
+		out := g.ReduceSum(me, in)
+		// 1+2+3+4 = 10; 1×4 = 4.
+		if math.Abs(out[0]-10) > 1e-12 || math.Abs(out[1]-4) > 1e-12 {
+			t.Errorf("rank %d reduce = %v, want [10 4]", rank, out)
+		}
+	})
+}
+
+func TestSingletonGroupShortCircuits(t *testing.T) {
+	runGroup(t, 1, func(g *Group, me *Task, rank int) {
+		g.Barrier(me)
+		out := g.ReduceSum(me, []float64{7})
+		if out[0] != 7 {
+			t.Errorf("singleton reduce = %v", out)
+		}
+	})
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := NewGroup("empty", nil); err == nil {
+		t.Fatal("empty group should be rejected")
+	}
+}
+
+func TestPackBufferRoundTrip(t *testing.T) {
+	b := NewBuffer()
+	b.PackInt([]int{1, 2, 3}).PackDouble([]float64{1.5}).PackString("hello")
+	if b.Bytes() != 12+8+5 {
+		t.Fatalf("packed bytes = %d", b.Bytes())
+	}
+	iv, err := b.UnpackInt()
+	if err != nil || len(iv) != 3 || iv[2] != 3 {
+		t.Fatalf("UnpackInt = %v, %v", iv, err)
+	}
+	dv, err := b.UnpackDouble()
+	if err != nil || dv[0] != 1.5 {
+		t.Fatalf("UnpackDouble = %v, %v", dv, err)
+	}
+	s, err := b.UnpackString()
+	if err != nil || s != "hello" {
+		t.Fatalf("UnpackString = %q, %v", s, err)
+	}
+	if _, err := b.UnpackInt(); err == nil {
+		t.Fatal("unpack past end should fail")
+	}
+}
+
+func TestPackBufferTypeMismatch(t *testing.T) {
+	b := NewBuffer()
+	b.PackInt([]int{1})
+	if _, err := b.UnpackDouble(); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+}
+
+func TestSendRecvBuffer(t *testing.T) {
+	m, _ := machine.New(machine.Config{Hypernodes: 1})
+	sys := NewSystem(m)
+	ready := m.K.NewEvent("ready")
+	var rx *Task
+	var got []float64
+	m.Spawn("rx", topology.MakeCPU(0, 1, 0), func(th *machine.Thread) {
+		rx = sys.AddTask(th)
+		ready.Set()
+		_, buf, err := rx.RecvBuffer()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, _ = buf.UnpackDouble()
+	})
+	m.Spawn("tx", topology.MakeCPU(0, 0, 0), func(th *machine.Thread) {
+		tx := sys.AddTask(th)
+		ready.Wait(th.P)
+		b := NewBuffer().PackDouble([]float64{9, 8, 7})
+		tx.SendBuffer(rx.ID(), 1, b)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 9 {
+		t.Fatalf("buffer payload = %v", got)
+	}
+}

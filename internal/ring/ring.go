@@ -1,0 +1,71 @@
+// Package ring models the four parallel unidirectional SCI ring networks
+// joining the hypernodes (paper §2.5). Functional unit i of every
+// hypernode attaches to ring i, so a line homed on FU i of a remote
+// hypernode is always reached over ring i. Each ring is a shared medium:
+// a packet occupies the ring for its transit time, and concurrent packets
+// queue — the contention term the paper flags as the compounding factor
+// for a "more heavily burdened system".
+package ring
+
+import (
+	"spp1000/internal/sim"
+	"spp1000/internal/topology"
+)
+
+// Network is the set of four rings of one machine.
+type Network struct {
+	topo    topology.Topology
+	params  topology.Params
+	rings   [topology.NumRings]sim.Resource
+	packets int64
+}
+
+// New returns an idle ring network.
+func New(topo topology.Topology, params topology.Params) *Network {
+	return &Network{topo: topo, params: params}
+}
+
+// LineSlotCycles is the ring occupancy of one extra cache-line-sized
+// payload slot (≈600 MB/s SCI link bandwidth: 32 B ≈ 53 ns ≈ 5 cycles).
+const LineSlotCycles = 5
+
+// TransitCycles reports the unloaded one-way transit time of a packet
+// from hypernode src to dst: injection/ejection handling plus per-hop
+// propagation. Payload beyond one cache line adds line-sized ring slots.
+func (n *Network) TransitCycles(src, dst, payloadBytes int) sim.Time {
+	hops := n.topo.RingHops(src, dst)
+	lines := (payloadBytes + topology.CacheLineBytes - 1) / topology.CacheLineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	return sim.Time(n.params.RingPacketFixed + int64(hops)*n.params.RingHop + int64(lines-1)*LineSlotCycles)
+}
+
+// Send books a one-way packet on the given ring starting at now and
+// returns its arrival time, including queueing behind earlier packets.
+func (n *Network) Send(now sim.Time, ringIdx, src, dst, payloadBytes int) sim.Time {
+	transit := n.TransitCycles(src, dst, payloadBytes)
+	n.packets++
+	return n.rings[ringIdx].Reserve(now, transit)
+}
+
+// RoundTrip books a request/response pair (request payloadBytes out,
+// one cache line back) and returns the completion time.
+func (n *Network) RoundTrip(now sim.Time, ringIdx, src, dst, payloadBytes int) sim.Time {
+	arrive := n.Send(now, ringIdx, src, dst, payloadBytes)
+	return n.Send(arrive, ringIdx, dst, src, topology.CacheLineBytes)
+}
+
+// Packets reports the number of packets sent.
+func (n *Network) Packets() int64 { return n.packets }
+
+// Busy reports accumulated service time on one ring.
+func (n *Network) Busy(ringIdx int) sim.Time { return n.rings[ringIdx].Busy() }
+
+// Reset clears all ring horizons.
+func (n *Network) Reset() {
+	for i := range n.rings {
+		n.rings[i].Reset()
+	}
+	n.packets = 0
+}

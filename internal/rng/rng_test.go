@@ -1,0 +1,128 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(1)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sumsq += f * f
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ≈0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Fatalf("uniform variance = %v, want ≈1/12", variance)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(2)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestMaxwellianScales(t *testing.T) {
+	r := New(3)
+	n := 100000
+	var sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Maxwellian(2.5)
+		sumsq += v * v
+	}
+	sigma := math.Sqrt(sumsq / float64(n))
+	if math.Abs(sigma-2.5) > 0.05 {
+		t.Fatalf("Maxwellian sigma = %v, want 2.5", sigma)
+	}
+}
+
+func TestIntnRangeProperty(t *testing.T) {
+	prop := func(seed uint64, raw uint16) bool {
+		n := int(raw)%100 + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(9)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("shuffle lost elements: %v", xs)
+		}
+		seen[x] = true
+	}
+}

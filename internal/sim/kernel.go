@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a callback scheduled at a virtual time. Events with equal
+// timestamps fire in the order they were scheduled (seq breaks ties),
+// which makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator: a virtual clock plus an ordered
+// event queue. It owns a set of Procs (simulated threads); exactly one
+// goroutine — the kernel's or one Proc's — executes at any moment.
+type Kernel struct {
+	now    Time
+	seq    int64
+	events eventHeap
+
+	// handshake with the currently-running Proc
+	yield chan struct{} // Proc -> Kernel: I have parked (or exited)
+
+	live    int // Procs spawned and not yet finished
+	blocked int // Procs parked on a waiter queue (not a timed event)
+
+	deadlock func() string // optional extra diagnostics on deadlock
+}
+
+// NewKernel returns an empty simulation at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is an error in the caller; it is clamped to "now" to keep the
+// clock monotonic.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// OnDeadlock registers a diagnostics callback invoked if the simulation
+// deadlocks (procs still live but no events pending).
+func (k *Kernel) OnDeadlock(fn func() string) { k.deadlock = fn }
+
+// Run executes events in timestamp order until the queue is empty.
+// It returns an error if Procs remain alive with nothing scheduled —
+// a deadlock in the simulated program.
+func (k *Kernel) Run() error {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		e.fn()
+	}
+	if k.live > 0 {
+		msg := fmt.Sprintf("sim: deadlock: %d procs alive, no events pending at %v", k.live, k.now)
+		if k.deadlock != nil {
+			msg += "\n" + k.deadlock()
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// RunUntil executes events until the queue is empty or the clock would
+// pass t. The clock is left at min(t, time of last event executed).
+func (k *Kernel) RunUntil(t Time) error {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return nil
+}
+
+// resumeProc transfers control to p until it parks or exits.
+// Must only be called from the kernel goroutine (inside an event).
+func (k *Kernel) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}

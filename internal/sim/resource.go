@@ -1,0 +1,36 @@
+package sim
+
+// Resource models a unit-capacity hardware resource (a memory bank, a
+// crossbar port, a ring segment) as a busy-until horizon. A request
+// arriving at time `now` for `dur` cycles of service starts at
+// max(now, free horizon) and pushes the horizon to start+dur; the
+// difference start-now is the queueing delay the requester observes.
+// This is the classical non-preemptive FCFS approximation: deterministic,
+// and exact when requests are presented in timestamp order (which the
+// event kernel guarantees).
+type Resource struct {
+	freeAt Time
+	// busy accumulates total service time, for utilization reporting.
+	busy Time
+}
+
+// Reserve books dur cycles of service starting no earlier than now.
+// It returns the time at which service completes.
+func (r *Resource) Reserve(now, dur Time) (done Time) {
+	start := now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + dur
+	r.busy += dur
+	return r.freeAt
+}
+
+// FreeAt reports the current busy horizon.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Busy reports the total service time booked so far.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Reset clears the horizon and accumulated utilization.
+func (r *Resource) Reset() { r.freeAt, r.busy = 0, 0 }

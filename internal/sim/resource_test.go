@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceIdleService(t *testing.T) {
+	var r Resource
+	if done := r.Reserve(100, 20); done != 120 {
+		t.Fatalf("idle reserve = %d, want 120", done)
+	}
+	if r.Busy() != 20 {
+		t.Fatalf("busy = %d", r.Busy())
+	}
+}
+
+func TestResourceQueues(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 50)
+	if done := r.Reserve(10, 50); done != 100 {
+		t.Fatalf("queued reserve = %d, want 100 (starts at 50)", done)
+	}
+	if r.FreeAt() != 100 {
+		t.Fatalf("horizon = %d", r.FreeAt())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 10)
+	// Next request arrives after the horizon: no queueing.
+	if done := r.Reserve(100, 10); done != 110 {
+		t.Fatalf("post-gap reserve = %d, want 110", done)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 100)
+	r.Reset()
+	if r.FreeAt() != 0 || r.Busy() != 0 {
+		t.Fatal("reset should clear state")
+	}
+}
+
+// Property: completion time ≥ request time + service, and total busy
+// equals the sum of service durations.
+func TestResourceAccounting(t *testing.T) {
+	prop := func(durs []uint8) bool {
+		var r Resource
+		now := Time(0)
+		var total Time
+		for _, d8 := range durs {
+			d := Time(d8)
+			done := r.Reserve(now, d)
+			if done < now+d {
+				return false
+			}
+			total += d
+			now += Time(d8 / 2) // requests arrive faster than service
+		}
+		return r.Busy() == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package threads
+
+import (
+	"fmt"
+
+	"spp1000/internal/machine"
+	"spp1000/internal/sim"
+	"spp1000/internal/topology"
+)
+
+// ForkJoin spawns a synchronous team of n threads from the parent thread
+// and blocks the parent until every child has terminated (CPSlib's
+// synchronous-thread model, paper §3.2). The parent dispatches children
+// serially, paying the local or remote spawn cost per child plus a
+// one-time runtime-initialization penalty the first time a fork reaches
+// a second hypernode; it then reaps each child at join.
+//
+// When the team saturates the whole machine, the OS has no spare CPU and
+// steals cycles from thread 0's processor (paper §6) — modeled as a
+// fractional Compute slowdown.
+// It returns the child Thread handles; their CXpa counters remain
+// readable after the join.
+func ForkJoin(parent *machine.Thread, n int, place Placement, body func(th *machine.Thread, tid int)) []*machine.Thread {
+	m := parent.M
+	if n < 1 {
+		return nil
+	}
+	children := make([]*machine.Thread, 0, n)
+	p := m.P
+	done := m.K.NewSemaphore("join", 0)
+	crossed := false
+	saturated := n >= m.Topo.NumCPUs()
+
+	for tid := 0; tid < n; tid++ {
+		cpu := CPUFor(m.Topo, place, tid, n)
+		remote := cpu.Hypernode() != parent.CPU.Hypernode()
+		if remote && !crossed {
+			crossed = true
+			parent.Delay(sim.Time(p.RemoteRuntimeInit))
+		}
+		if remote {
+			parent.Delay(sim.Time(p.ThreadSpawnRemote))
+		} else {
+			parent.Delay(sim.Time(p.ThreadSpawnLocal))
+		}
+		tid := tid
+		child := m.SpawnAt(parent.Now(), fmt.Sprintf("t%d", tid), cpu, func(th *machine.Thread) {
+			th.Delay(sim.Time(p.ThreadStart))
+			body(th, tid)
+			done.V()
+		})
+		if saturated && tid == 0 {
+			child.SetSlowdown(p.OSIntrusion)
+		}
+		children = append(children, child)
+	}
+	// Join: wait for all children, then reap them.
+	for i := 0; i < n; i++ {
+		done.P(parent.P)
+	}
+	parent.Delay(sim.Time(int64(n) * p.JoinPerThread))
+	return children
+}
+
+// RunTeam is the common harness entry point: it builds the machine's
+// root thread on CPU 0, forks a team of n, and runs the simulation to
+// completion, returning the fork-to-join virtual duration.
+func RunTeam(m *machine.Machine, n int, place Placement, body func(th *machine.Thread, tid int)) (sim.Time, error) {
+	elapsed, _, err := RunTeamThreads(m, n, place, body)
+	return elapsed, err
+}
+
+// RunTeamThreads is RunTeam but also returns the child Thread handles,
+// whose CXpa instrumentation counters survive the join.
+func RunTeamThreads(m *machine.Machine, n int, place Placement, body func(th *machine.Thread, tid int)) (sim.Time, []*machine.Thread, error) {
+	var elapsed sim.Time
+	var children []*machine.Thread
+	m.Spawn("main", topology.MakeCPU(0, 0, 0), func(parent *machine.Thread) {
+		start := parent.Now()
+		children = ForkJoin(parent, n, place, body)
+		elapsed = parent.Now() - start
+	})
+	if err := m.Run(); err != nil {
+		return 0, nil, err
+	}
+	return elapsed, children, nil
+}

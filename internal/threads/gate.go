@@ -1,0 +1,46 @@
+package threads
+
+import (
+	"spp1000/internal/machine"
+	"spp1000/internal/sim"
+	"spp1000/internal/topology"
+)
+
+// Gate is the CPSlib mutual-exclusion primitive (§3.2): an uncached
+// semaphore cell guarding a critical section. Acquisition costs one
+// uncached read-modify-write at the gate's home; contended acquirers
+// serialize in virtual time.
+type Gate struct {
+	m    *machine.Machine
+	cell topology.Space
+	mu   *sim.Mutex
+}
+
+// NewGate allocates a gate hosted on hypernode host.
+func NewGate(m *machine.Machine, host int) *Gate {
+	return &Gate{
+		m:    m,
+		cell: m.Alloc("gate", topology.NearShared, host, 0),
+		mu:   m.K.NewMutex("gate"),
+	}
+}
+
+// Lock acquires the gate.
+func (g *Gate) Lock(th *machine.Thread) {
+	th.RMW(g.cell, 0)
+	g.mu.Lock(th.P)
+}
+
+// Unlock releases the gate.
+func (g *Gate) Unlock(th *machine.Thread) {
+	th.RMW(g.cell, 0)
+	g.mu.Unlock()
+}
+
+// Critical runs body under the gate — the compiler's "critical section"
+// directive.
+func (g *Gate) Critical(th *machine.Thread, body func()) {
+	g.Lock(th)
+	body()
+	g.Unlock(th)
+}

@@ -1,0 +1,12 @@
+package topology
+
+// Space names one virtual-memory object (an allocation with a memory
+// class). Caches, directories, and the SCI protocol key their state by
+// (space, line) so distinct objects never alias.
+type Space uint32
+
+// LineKey identifies one cache line of one memory object.
+type LineKey struct {
+	Space Space
+	Line  uint64
+}

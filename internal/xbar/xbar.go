@@ -1,0 +1,59 @@
+// Package xbar models the 5-port crossbar switch joining the four
+// functional units of a hypernode (the fifth port serves I/O, paper §2.4).
+// Each port is a unit-capacity resource; a transfer occupies both the
+// source and destination ports for its duration, so conflicting traffic
+// queues — the "cross-bar switch and memory bank conflicts" that stretch
+// the 50-cycle miss toward 60 (paper §2.6).
+package xbar
+
+import (
+	"spp1000/internal/sim"
+	"spp1000/internal/topology"
+)
+
+// Crossbar is one hypernode's switch.
+type Crossbar struct {
+	ports [topology.FUsPerNode + 1]sim.Resource // 4 FU ports + 1 I/O port
+	// transfers counts completed traversals for utilization reporting.
+	transfers int64
+}
+
+// IOPort is the port index of the I/O connection.
+const IOPort = topology.FUsPerNode
+
+// New returns an idle crossbar.
+func New() *Crossbar { return &Crossbar{} }
+
+// Traverse books a transfer from port src to port dst starting at now,
+// occupying both ports for dur cycles. It returns the completion time,
+// which includes any queueing delay behind earlier traffic.
+func (x *Crossbar) Traverse(now sim.Time, src, dst int, dur sim.Time) sim.Time {
+	if src == dst {
+		return now + dur
+	}
+	start := now
+	if t := x.ports[src].FreeAt(); t > start {
+		start = t
+	}
+	if t := x.ports[dst].FreeAt(); t > start {
+		start = t
+	}
+	x.ports[src].Reserve(start, dur)
+	x.ports[dst].Reserve(start, dur)
+	x.transfers++
+	return start + dur
+}
+
+// Transfers reports the number of traversals completed.
+func (x *Crossbar) Transfers() int64 { return x.transfers }
+
+// PortBusy reports the accumulated service time of a port.
+func (x *Crossbar) PortBusy(port int) sim.Time { return x.ports[port].Busy() }
+
+// Reset clears all port horizons.
+func (x *Crossbar) Reset() {
+	for i := range x.ports {
+		x.ports[i].Reset()
+	}
+	x.transfers = 0
+}
