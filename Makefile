@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet cover reproduce quick examples clean
+# PR-numbered benchmark artifact (bump per PR to track the trajectory).
+BENCH_JSON ?= BENCH_1.json
 
-all: build vet test
+.PHONY: all build test race bench vet cover reproduce quick examples clean
+
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,9 +18,18 @@ vet:
 test:
 	$(GO) test ./...
 
-# One testing.B benchmark per paper table/figure.
+# Host goroutines now run independent simulations concurrently
+# (internal/runner), so the race detector is part of tier-1 verify.
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure, plus the kernel-level
+# microbenchmarks in internal/sim. The parsed ns/op + allocs/op land in
+# $(BENCH_JSON) so the perf trajectory is tracked across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE
+	$(GO) test -bench=. -benchmem -run=NONE . ./internal/sim | tee bench.txt
+	$(GO) run ./cmd/benchjson < bench.txt > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig4Message-8   \t  12\t  95104310 ns/op\t  1204 B/op\t  17 allocs/op\t  3.1 sim-us/global-RT")
+	if !ok {
+		t.Fatal("parseLine failed")
+	}
+	if b.Name != "Fig4Message" || b.Iterations != 12 || b.NsPerOp != 95104310 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1204 || b.AllocsPerOp == nil || *b.AllocsPerOp != 17 {
+		t.Fatalf("mem stats: %+v", b)
+	}
+	if b.Metrics["sim-us/global-RT"] != 3.1 {
+		t.Fatalf("custom metric: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineNoSuffix(t *testing.T) {
+	b, ok := parseLine("BenchmarkKernelEventThroughput 	158551778	         7.526 ns/op	       0 B/op	       0 allocs/op")
+	if !ok || b.Name != "KernelEventThroughput" || b.NsPerOp != 7.526 {
+		t.Fatalf("parsed %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	if _, ok := parseLine("Benchmarks are listed below:"); ok {
+		t.Fatal("should reject non-result lines")
+	}
+}

@@ -7,6 +7,11 @@
 //	sppbench -exp fig3           # one experiment
 //	sppbench -exp fig6,tab2      # a subset
 //	sppbench -quick              # reduced problem sizes (CI-friendly)
+//	sppbench -par 1              # serial (default: all host cores)
+//
+// Every sweep point is an independent deterministic simulation, so the
+// experiments fan out across host cores through internal/runner; the
+// output is byte-identical for any -par value.
 package main
 
 import (
@@ -16,13 +21,17 @@ import (
 	"strings"
 
 	"spp1000/internal/experiments"
+	"spp1000/internal/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id(s): all, or comma-separated from "+strings.Join(append(append([]string{}, experiments.Names...), experiments.Extra...), ","))
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "emit the paper artifacts as structured JSON instead of text")
+	par := flag.Int("par", 0, "host workers for independent simulations (0 = all cores, 1 = serial)")
 	flag.Parse()
+
+	runner.SetWorkers(*par)
 
 	opts := experiments.Defaults()
 	if *quick {
@@ -56,13 +65,15 @@ func main() {
 	default:
 		names = strings.Split(*exp, ",")
 	}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		out, err := experiments.Run(name, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sppbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s ===\n%s\n", name, out)
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	outs, err := experiments.RunMany(names, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sppbench: %v\n", err)
+		os.Exit(1)
+	}
+	for i, name := range names {
+		fmt.Printf("=== %s ===\n%s\n", name, outs[i])
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"spp1000/internal/apps/pic"
 	"spp1000/internal/machine"
 	"spp1000/internal/pvm"
+	"spp1000/internal/runner"
 	"spp1000/internal/sim"
 	"spp1000/internal/stats"
 	"spp1000/internal/threads"
@@ -325,71 +326,89 @@ func CompareLightweight() (LightweightComparison, error) {
 	return out, nil
 }
 
-// Report runs the full ablation suite and renders it.
+// Report runs the full ablation suite and renders it. The studies are
+// mutually independent (every comparison builds its own machines), so
+// they are dispatched through the host worker pool as sections and
+// concatenated in the fixed report order.
 func Report() (string, error) {
-	tb := stats.NewTable("Ablation: hardware vs. software synchronization (LILO µs)",
-		"threads", "hardware barrier", "software (PVM) barrier", "ratio")
-	for _, n := range []int{4, 8, 16} {
-		c, err := CompareBarrier(n)
-		if err != nil {
-			return "", err
-		}
-		tb.AddRow(n, c.Hardware.Micros(), c.Software.Micros(),
-			c.Software.Micros()/c.Hardware.Micros())
-	}
-	out := tb.Render() + "\n"
-
-	buf, err := CompareGlobalBuffer()
+	parts, err := runner.Sections(
+		func() (string, error) {
+			tb := stats.NewTable("Ablation: hardware vs. software synchronization (LILO µs)",
+				"threads", "hardware barrier", "software (PVM) barrier", "ratio")
+			ns := []int{4, 8, 16}
+			cs, err := runner.Map(len(ns), func(i int) (BarrierComparison, error) {
+				return CompareBarrier(ns[i])
+			})
+			if err != nil {
+				return "", err
+			}
+			for i, n := range ns {
+				c := cs[i]
+				tb.AddRow(n, c.Hardware.Micros(), c.Software.Micros(),
+					c.Software.Micros()/c.Hardware.Micros())
+			}
+			return tb.Render() + "\n", nil
+		},
+		func() (string, error) {
+			buf, err := CompareGlobalBuffer()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Ablation: SCI global cache buffer (512 repeated remote reads)\n"+
+				"  with buffer:    %v\n  without buffer: %v (%.1fx)\n\n",
+				buf.WithBuffer, buf.WithoutBuffer,
+				float64(buf.WithoutBuffer)/float64(buf.WithBuffer)), nil
+		},
+		func() (string, error) {
+			rings, err := CompareRings()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Ablation: four parallel rings vs. one (4 FUs streaming)\n"+
+				"  four rings: %v\n  one ring:   %v (%.2fx)\n\n",
+				rings.FourRings, rings.OneRing,
+				float64(rings.OneRing)/float64(rings.FourRings)), nil
+		},
+		func() (string, error) {
+			w := nbody.CountWorkload(32768, 64, 1)
+			sched, err := CompareScheduling(w, 16, 2)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Ablation: static partition vs. dynamic self-scheduling (tree code, %d particles, 16 CPUs)\n"+
+				"  measured load imbalance: %.3f\n  static:  %.1f Mflop/s\n  dynamic: %.1f Mflop/s (%+.1f%%)\n\n",
+				sched.N, sched.Imbalance, sched.Static, sched.Dynamic,
+				100*(sched.Dynamic/sched.Static-1)), nil
+		},
+		func() (string, error) {
+			pow2, err := ComparePowerOfTwo()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Study: power-of-two rigidity vs. OS intrusion (§6, PIC small problem)\n"+
+				"  16 threads (OS steals cycles): %.1f Mflop/s\n"+
+				"  15 threads (one CPU to the OS): %.1f Mflop/s\n"+
+				"  (static power-of-two codes cannot take the 15-thread option)\n\n",
+				pow2.Proc16, pow2.Proc15), nil
+		},
+		ComparePlacement,
+		func() (string, error) {
+			lw, err := CompareLightweight()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("\nStudy: lightweight threads (§7 future work): %d parallel regions × 16 threads\n"+
+				"  fork-join per region: %v\n  persistent pool:      %v (%.1fx lighter)\n",
+				lw.Regions, lw.ForkJoin, lw.Pool, float64(lw.ForkJoin)/float64(lw.Pool)), nil
+		},
+	)
 	if err != nil {
 		return "", err
 	}
-	out += fmt.Sprintf("Ablation: SCI global cache buffer (512 repeated remote reads)\n"+
-		"  with buffer:    %v\n  without buffer: %v (%.1fx)\n\n",
-		buf.WithBuffer, buf.WithoutBuffer,
-		float64(buf.WithoutBuffer)/float64(buf.WithBuffer))
-
-	rings, err := CompareRings()
-	if err != nil {
-		return "", err
+	var out string
+	for _, p := range parts {
+		out += p
 	}
-	out += fmt.Sprintf("Ablation: four parallel rings vs. one (4 FUs streaming)\n"+
-		"  four rings: %v\n  one ring:   %v (%.2fx)\n\n",
-		rings.FourRings, rings.OneRing,
-		float64(rings.OneRing)/float64(rings.FourRings))
-
-	w := nbody.CountWorkload(32768, 64, 1)
-	sched, err := CompareScheduling(w, 16, 2)
-	if err != nil {
-		return "", err
-	}
-	out += fmt.Sprintf("Ablation: static partition vs. dynamic self-scheduling (tree code, %d particles, 16 CPUs)\n"+
-		"  measured load imbalance: %.3f\n  static:  %.1f Mflop/s\n  dynamic: %.1f Mflop/s (%+.1f%%)\n\n",
-		sched.N, sched.Imbalance, sched.Static, sched.Dynamic,
-		100*(sched.Dynamic/sched.Static-1))
-
-	pow2, err := ComparePowerOfTwo()
-	if err != nil {
-		return "", err
-	}
-	out += fmt.Sprintf("Study: power-of-two rigidity vs. OS intrusion (§6, PIC small problem)\n"+
-		"  16 threads (OS steals cycles): %.1f Mflop/s\n"+
-		"  15 threads (one CPU to the OS): %.1f Mflop/s\n"+
-		"  (static power-of-two codes cannot take the 15-thread option)\n\n",
-		pow2.Proc16, pow2.Proc15)
-
-	place, err := ComparePlacement()
-	if err != nil {
-		return "", err
-	}
-	out += place
-
-	lw, err := CompareLightweight()
-	if err != nil {
-		return "", err
-	}
-	out += fmt.Sprintf("\nStudy: lightweight threads (§7 future work): %d parallel regions × 16 threads\n"+
-		"  fork-join per region: %v\n  persistent pool:      %v (%.1fx lighter)\n",
-		lw.Regions, lw.ForkJoin, lw.Pool, float64(lw.ForkJoin)/float64(lw.Pool))
 	return out, nil
 }
 
@@ -400,16 +419,24 @@ func Report() (string, error) {
 func ComparePlacement() (string, error) {
 	tb := stats.NewTable("Study: FEM with operational block-shared placement (useful Mflop/s)",
 		"procs", "near-shared@hn0 (as measured)", "block-shared (counterfactual)")
-	for _, p := range []int{8, 9, 12, 16} {
-		base, err := fem.RunPlaced(fem.SmallGrid, fem.GatherScatter, p, 3, fem.HostedNearShared)
+	ps := []int{8, 9, 12, 16}
+	type pair struct{ base, better float64 }
+	pts, err := runner.Map(len(ps), func(i int) (pair, error) {
+		base, err := fem.RunPlaced(fem.SmallGrid, fem.GatherScatter, ps[i], 3, fem.HostedNearShared)
 		if err != nil {
-			return "", err
+			return pair{}, err
 		}
-		better, err := fem.RunPlaced(fem.SmallGrid, fem.GatherScatter, p, 3, fem.BlockSharedPartition)
+		better, err := fem.RunPlaced(fem.SmallGrid, fem.GatherScatter, ps[i], 3, fem.BlockSharedPartition)
 		if err != nil {
-			return "", err
+			return pair{}, err
 		}
-		tb.AddRow(p, base.UsefulMflops, better.UsefulMflops)
+		return pair{base.UsefulMflops, better.UsefulMflops}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, p := range ps {
+		tb.AddRow(p, pts[i].base, pts[i].better)
 	}
 	return tb.Render(), nil
 }

@@ -5,6 +5,8 @@ import (
 
 	"spp1000/internal/apps/nbody"
 	"spp1000/internal/microbench"
+	"spp1000/internal/runner"
+	"spp1000/internal/sim"
 	"spp1000/internal/stats"
 	"spp1000/internal/threads"
 )
@@ -22,41 +24,49 @@ func ScaleReport() (string, error) {
 		{2, 16}, {4, 32}, {8, 64}, {16, 128},
 	}
 
+	type prim struct{ fj, lifo, lilo sim.Time }
+	prims, err := runner.Map(len(configs), func(i int) (prim, error) {
+		cfg := configs[i]
+		t, err := microbench.ForkJoinCost(cfg.hypernodes, cfg.threads, threads.HighLocality)
+		if err != nil {
+			return prim{}, err
+		}
+		lifo, lilo, err := microbench.BarrierCost(cfg.hypernodes, cfg.threads, threads.HighLocality)
+		if err != nil {
+			return prim{}, err
+		}
+		return prim{t, lifo, lilo}, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	fj := &stats.Series{Name: "fork-join (µs)"}
 	barLIFO := &stats.Series{Name: "barrier LIFO (µs)"}
 	barLILO := &stats.Series{Name: "barrier LILO (µs)"}
-	for _, cfg := range configs {
-		t, err := microbench.ForkJoinCost(cfg.hypernodes, cfg.threads, threads.HighLocality)
-		if err != nil {
-			return "", err
-		}
-		fj.Add(float64(cfg.threads), t.Micros())
-		lifo, lilo, err := microbench.BarrierCost(cfg.hypernodes, cfg.threads, threads.HighLocality)
-		if err != nil {
-			return "", err
-		}
-		barLIFO.Add(float64(cfg.threads), lifo.Micros())
-		barLILO.Add(float64(cfg.threads), lilo.Micros())
+	for i, cfg := range configs {
+		fj.Add(float64(cfg.threads), prims[i].fj.Micros())
+		barLIFO.Add(float64(cfg.threads), prims[i].lifo.Micros())
+		barLILO.Add(float64(cfg.threads), prims[i].lilo.Micros())
 	}
 	out := stats.Render("Extrapolation: primitives up to 16 hypernodes / 128 CPUs",
 		"threads", "µs", fj, barLIFO, barLILO)
 
 	// Tree code on the growing machine (64 work blocks cap the team at
-	// 64 threads).
+	// 64 threads). runs[0] is the 1-CPU baseline.
 	w := nbody.CountWorkload(262144, 64, 1)
-	sp := &stats.Series{Name: "speedup"}
-	rate := &stats.Series{Name: "Mflop/s"}
-	base, err := nbody.Run(w, 1, 1, 2)
+	runs := []struct{ p, hn int }{{1, 1}, {8, 1}, {16, 2}, {32, 4}, {64, 8}}
+	res, err := runner.Map(len(runs), func(i int) (nbody.Result, error) {
+		return nbody.Run(w, runs[i].p, runs[i].hn, 2)
+	})
 	if err != nil {
 		return "", err
 	}
-	for _, cfg := range []struct{ p, hn int }{{8, 1}, {16, 2}, {32, 4}, {64, 8}} {
-		r, err := nbody.Run(w, cfg.p, cfg.hn, 2)
-		if err != nil {
-			return "", err
-		}
-		sp.Add(float64(cfg.p), base.Seconds/r.Seconds)
-		rate.Add(float64(cfg.p), r.Mflops)
+	base := res[0]
+	sp := &stats.Series{Name: "speedup"}
+	rate := &stats.Series{Name: "Mflop/s"}
+	for i, cfg := range runs[1:] {
+		sp.Add(float64(cfg.p), base.Seconds/res[i+1].Seconds)
+		rate.Add(float64(cfg.p), res[i+1].Mflops)
 	}
 	out += "\n" + stats.Render("Extrapolation: tree code (262144 particles) beyond the testbed",
 		"CPUs", "speedup / Mflop/s", sp, rate)

@@ -5,6 +5,7 @@ import (
 
 	"spp1000/internal/machine"
 	"spp1000/internal/perfmodel"
+	"spp1000/internal/runner"
 	"spp1000/internal/threads"
 	"spp1000/internal/topology"
 )
@@ -157,7 +158,9 @@ func Run(cfg Config, procs, steps int) (Result, error) {
 	}, nil
 }
 
-// Table2 reproduces the paper's Table 2 rows.
+// Table2 reproduces the paper's Table 2 rows. Each tiling × processor
+// count is an independent simulation; the rows run on the host worker
+// pool and come back in table order.
 func Table2(steps int) ([]Result, error) {
 	rows := []struct {
 		cfg   Config
@@ -167,13 +170,7 @@ func Table2(steps int) ([]Result, error) {
 		{Table2B, 1}, {Table2B, 2}, {Table2B, 4}, {Table2B, 8},
 		{Table2A, 1}, {Table2C, 4},
 	}
-	var out []Result
-	for _, r := range rows {
-		res, err := Run(r.cfg, r.procs, steps)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return runner.Map(len(rows), func(i int) (Result, error) {
+		return Run(rows[i].cfg, rows[i].procs, steps)
+	})
 }

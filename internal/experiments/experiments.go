@@ -16,6 +16,7 @@ import (
 	"spp1000/internal/apps/ppm"
 	"spp1000/internal/directives"
 	"spp1000/internal/microbench"
+	"spp1000/internal/runner"
 	"spp1000/internal/stats"
 )
 
@@ -100,33 +101,45 @@ func Tab1(o Options) (string, error) {
 }
 
 // Fig6 reproduces Figure 6: PIC time to solution and speedup, shared
-// memory versus PVM, with the C90 reference line.
+// memory versus PVM, with the C90 reference line. Every (size, procs)
+// point is two independent simulations; the full grid is dispatched
+// through the worker pool, then rendered serially in sweep order.
 func Fig6(o Options) (string, error) {
 	procs := []int{1, 2, 4, 8, 12, 16}
+	sizes := []pic.Size{pic.Small, pic.Large}
+	type point struct{ rs, rp pic.Result }
+	pts, err := runner.Map(len(sizes)*len(procs), func(i int) (point, error) {
+		size, p := sizes[i/len(procs)], procs[i%len(procs)]
+		rs, err := pic.RunShared(size, p, o.PICSteps)
+		if err != nil {
+			return point{}, err
+		}
+		rp, err := pic.RunPVM(size, p, o.PICSteps)
+		if err != nil {
+			return point{}, err
+		}
+		return point{rs, rp}, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
-	for _, size := range []pic.Size{pic.Small, pic.Large} {
+	for si, size := range sizes {
 		shT := &stats.Series{Name: "shared time(s)"}
 		pvT := &stats.Series{Name: "pvm time(s)"}
 		shS := &stats.Series{Name: "shared speedup"}
 		pvS := &stats.Series{Name: "pvm speedup"}
 		var shBase, pvBase float64
 		scale := 500.0 / float64(o.PICSteps)
-		for _, p := range procs {
-			rs, err := pic.RunShared(size, p, o.PICSteps)
-			if err != nil {
-				return "", err
-			}
-			rp, err := pic.RunPVM(size, p, o.PICSteps)
-			if err != nil {
-				return "", err
-			}
+		for pi, p := range procs {
+			pt := pts[si*len(procs)+pi]
 			if p == 1 {
-				shBase, pvBase = rs.Seconds, rp.Seconds
+				shBase, pvBase = pt.rs.Seconds, pt.rp.Seconds
 			}
-			shT.Add(float64(p), rs.Seconds*scale)
-			pvT.Add(float64(p), rp.Seconds*scale)
-			shS.Add(float64(p), shBase/rs.Seconds)
-			pvS.Add(float64(p), pvBase/rp.Seconds)
+			shT.Add(float64(p), pt.rs.Seconds*scale)
+			pvT.Add(float64(p), pt.rp.Seconds*scale)
+			shS.Add(float64(p), shBase/pt.rs.Seconds)
+			pvS.Add(float64(p), pvBase/pt.rp.Seconds)
 		}
 		c90sec, c90rate := pic.C90Reference(size, 500)
 		fmt.Fprintf(&b, "%s", stats.Render(
@@ -142,25 +155,37 @@ func Fig6(o Options) (string, error) {
 // datasets, both codings, with the C90 line.
 func Fig7(o Options) (string, error) {
 	procs := []int{1, 2, 4, 8, 9, 10, 12, 14, 16}
+	type point struct{ small1, small2, large float64 }
+	pts, err := runner.Map(len(procs), func(i int) (point, error) {
+		p := procs[i]
+		var pt point
+		r, err := fem.Run(fem.SmallGrid, fem.GatherScatter, p, o.AppSteps)
+		if err != nil {
+			return pt, err
+		}
+		pt.small1 = r.UsefulMflops
+		r, err = fem.Run(fem.SmallGrid, fem.VectorStyle, p, o.AppSteps)
+		if err != nil {
+			return pt, err
+		}
+		pt.small2 = r.UsefulMflops
+		r, err = fem.Run(fem.LargeGrid, fem.GatherScatter, p, o.AppSteps)
+		if err != nil {
+			return pt, err
+		}
+		pt.large = r.UsefulMflops
+		return pt, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	small1 := &stats.Series{Name: "small1"}
 	small2 := &stats.Series{Name: "small2"}
 	large := &stats.Series{Name: "large"}
-	for _, p := range procs {
-		r, err := fem.Run(fem.SmallGrid, fem.GatherScatter, p, o.AppSteps)
-		if err != nil {
-			return "", err
-		}
-		small1.Add(float64(p), r.UsefulMflops)
-		r, err = fem.Run(fem.SmallGrid, fem.VectorStyle, p, o.AppSteps)
-		if err != nil {
-			return "", err
-		}
-		small2.Add(float64(p), r.UsefulMflops)
-		r, err = fem.Run(fem.LargeGrid, fem.GatherScatter, p, o.AppSteps)
-		if err != nil {
-			return "", err
-		}
-		large.Add(float64(p), r.UsefulMflops)
+	for i, p := range procs {
+		small1.Add(float64(p), pts[i].small1)
+		small2.Add(float64(p), pts[i].small2)
+		large.Add(float64(p), pts[i].large)
 	}
 	out := stats.Render("Figure 7: FEM performance (useful Mflop/s)", "procs", "useful Mflop/s", small1, small2, large)
 	_, c90useful := fem.C90Reference()
@@ -171,30 +196,39 @@ func Fig7(o Options) (string, error) {
 // Fig8 reproduces Figure 8: N-body speedup for three problem sizes on
 // one and two hypernodes.
 func Fig8(o Options) (string, error) {
+	// Stage 1: the counted workloads (host-side tree builds — by far the
+	// heaviest host compute in the suite) in parallel across sizes.
+	ws, err := runner.Map(len(o.NBodySizes), func(i int) (*nbody.Workload, error) {
+		return nbody.CountWorkload(o.NBodySizes[i], o.NBodySample, o.Seed), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	// Stage 2: every (size, procs, hypernodes) run, flattened into one
+	// pool dispatch. cfgs[0] doubles as the 1-CPU baseline.
+	cfgs := []struct{ p, hn int }{
+		{1, 1}, {2, 1}, {4, 1}, {8, 1}, {2, 2}, {4, 2}, {8, 2}, {16, 2},
+	}
+	res, err := runner.Map(len(ws)*len(cfgs), func(i int) (nbody.Result, error) {
+		return nbody.Run(ws[i/len(cfgs)], cfgs[i%len(cfgs)].p, cfgs[i%len(cfgs)].hn, o.AppSteps)
+	})
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
-	for _, n := range o.NBodySizes {
-		w := nbody.CountWorkload(n, o.NBodySample, o.Seed)
+	for si, n := range o.NBodySizes {
 		one := &stats.Series{Name: "1 hypernode"}
 		two := &stats.Series{Name: "2 hypernodes"}
 		rate := &stats.Series{Name: "Mflop/s (2 hn)"}
-		r1, err := nbody.Run(w, 1, 1, o.AppSteps)
-		if err != nil {
-			return "", err
-		}
-		for _, p := range []int{1, 2, 4, 8} {
-			r, err := nbody.Run(w, p, 1, o.AppSteps)
-			if err != nil {
-				return "", err
+		r1 := res[si*len(cfgs)]
+		for ci, cfg := range cfgs {
+			r := res[si*len(cfgs)+ci]
+			if cfg.hn == 1 {
+				one.Add(float64(cfg.p), r1.Seconds/r.Seconds)
+			} else {
+				two.Add(float64(cfg.p), r1.Seconds/r.Seconds)
+				rate.Add(float64(cfg.p), r.Mflops)
 			}
-			one.Add(float64(p), r1.Seconds/r.Seconds)
-		}
-		for _, p := range []int{2, 4, 8, 16} {
-			r, err := nbody.Run(w, p, 2, o.AppSteps)
-			if err != nil {
-				return "", err
-			}
-			two.Add(float64(p), r1.Seconds/r.Seconds)
-			rate.Add(float64(p), r.Mflops)
 		}
 		fmt.Fprintf(&b, "%s", stats.Render(
 			fmt.Sprintf("Figure 8: N-body speedup, %d particles (1-CPU rate %.1f Mflop/s)", n, r1.Mflops),
@@ -253,10 +287,11 @@ func AMR(o Options) (string, error) {
 	var b strings.Builder
 	b.WriteString("AMR extension: PPM shock on a PARAMESH-style block quadtree\n")
 	tb := stats.NewTable("", "procs", "sim seconds", "Mflop/s", "leaves", "max level", "zones saved")
-	for _, p := range []int{1, 4, 8, 16} {
+	ps := []int{1, 4, 8, 16}
+	res, err := runner.Map(len(ps), func(i int) (amr.Result, error) {
 		d, err := amr.New(4, 1)
 		if err != nil {
-			return "", err
+			return amr.Result{}, err
 		}
 		w := float64(4 * amr.BlockSize)
 		d.SetRegion(func(x, y float64) (rho, u, v, pr float64) {
@@ -265,10 +300,13 @@ func AMR(o Options) (string, error) {
 			}
 			return 0.125, 0, 0, 0.1
 		})
-		r, err := amr.Run(d, p, 10)
-		if err != nil {
-			return "", err
-		}
+		return amr.Run(d, ps[i], 10)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, p := range ps {
+		r := res[i]
 		tb.AddRow(p, r.Seconds, r.Mflops, r.LeafBlocks, r.MaxLevel,
 			fmt.Sprintf("%.1fx", float64(r.UniformZones)/float64(r.ZoneUpdates)))
 	}
@@ -301,6 +339,35 @@ var (
 	Names = []string{"fig2", "fig3", "fig4", "tab1", "fig6", "fig7", "fig8", "tab2"}
 	Extra = []string{"ablate", "scale", "classes", "amr"}
 )
+
+// RunMany executes the named experiments through the host worker pool
+// and returns the rendered outputs in name order. The rendering of each
+// experiment — and of the whole sequence — is byte-identical to calling
+// Run serially: workers fill their own slots and assembly is ordered.
+func RunMany(names []string, o Options) ([]string, error) {
+	return runner.Map(len(names), func(i int) (string, error) {
+		out, err := Run(names[i], o)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", names[i], err)
+		}
+		return out, nil
+	})
+}
+
+// All runs every paper artifact (Names, in order) and returns the
+// concatenation of their renderings, each prefixed by its banner —
+// exactly the text `sppbench -exp all` prints.
+func All(o Options) (string, error) {
+	outs, err := RunMany(Names, o)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, name := range Names {
+		fmt.Fprintf(&b, "=== %s ===\n%s\n", name, outs[i])
+	}
+	return b.String(), nil
+}
 
 // Run executes one experiment by name.
 func Run(name string, o Options) (string, error) {

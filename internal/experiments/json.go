@@ -8,6 +8,7 @@ import (
 	"spp1000/internal/apps/pic"
 	"spp1000/internal/apps/ppm"
 	"spp1000/internal/microbench"
+	"spp1000/internal/runner"
 	"spp1000/internal/stats"
 )
 
@@ -45,59 +46,91 @@ type Report struct {
 }
 
 // BuildReport runs the paper artifacts and returns the structured form.
+// The independent sections — and the sweep points within them — are
+// dispatched through the host worker pool; every slice is assembled in
+// the same order as a serial build, so the marshalled bytes are
+// unchanged by parallelism.
 func BuildReport(o Options) (*Report, error) {
 	r := &Report{}
-	var err error
-	if r.Fig2.HighLocality, r.Fig2.Uniform, err = microbench.ForkJoinSweep(2, 16); err != nil {
+	err := runner.Each(6, func(section int) error {
+		switch section {
+		case 0:
+			var err error
+			r.Fig2.HighLocality, r.Fig2.Uniform, err = microbench.ForkJoinSweep(2, 16)
+			return err
+		case 1:
+			var err error
+			r.Fig3, err = microbench.BarrierSweep(2, 16)
+			return err
+		case 2:
+			var err error
+			r.Fig4.Local, r.Fig4.Global, err = microbench.MessageSweep()
+			return err
+		case 3:
+			sizes := []pic.Size{pic.Small, pic.Large}
+			procs := []int{1, 2, 4, 8, 16}
+			pts, err := runner.Map(len(sizes)*len(procs), func(i int) ([2]pic.Result, error) {
+				size, p := sizes[i/len(procs)], procs[i%len(procs)]
+				rs, err := pic.RunShared(size, p, o.PICSteps)
+				if err != nil {
+					return [2]pic.Result{}, err
+				}
+				rp, err := pic.RunPVM(size, p, o.PICSteps)
+				if err != nil {
+					return [2]pic.Result{}, err
+				}
+				return [2]pic.Result{rs, rp}, nil
+			})
+			if err != nil {
+				return err
+			}
+			for si, size := range sizes {
+				sec, rate := pic.C90Reference(size, 500)
+				r.Tab1 = append(r.Tab1, struct {
+					Mesh      string  `json:"mesh"`
+					Particles int     `json:"particles"`
+					Mflops    float64 `json:"mflops"`
+					Seconds   float64 `json:"seconds"`
+				}{size.String(), size.Particles(), rate, sec})
+				for pi := range procs {
+					r.Fig6 = append(r.Fig6, pts[si*len(procs)+pi][0], pts[si*len(procs)+pi][1])
+				}
+			}
+			return nil
+		case 4:
+			procs := []int{1, 2, 4, 8, 9, 12, 16}
+			res, err := runner.Map(len(procs), func(i int) (fem.Result, error) {
+				return fem.Run(fem.SmallGrid, fem.GatherScatter, procs[i], o.AppSteps)
+			})
+			if err != nil {
+				return err
+			}
+			r.Fig7 = res
+			return nil
+		case 5:
+			ws, err := runner.Map(len(o.NBodySizes), func(i int) (*nbody.Workload, error) {
+				return nbody.CountWorkload(o.NBodySizes[i], o.NBodySample, o.Seed), nil
+			})
+			if err != nil {
+				return err
+			}
+			cfgs := []struct{ p, hn int }{{1, 1}, {8, 1}, {8, 2}, {16, 2}}
+			res, err := runner.Map(len(ws)*len(cfgs), func(i int) (nbody.Result, error) {
+				return nbody.Run(ws[i/len(cfgs)], cfgs[i%len(cfgs)].p, cfgs[i%len(cfgs)].hn, o.AppSteps)
+			})
+			if err != nil {
+				return err
+			}
+			r.Fig8 = res
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if r.Fig3, err = microbench.BarrierSweep(2, 16); err != nil {
+	if r.Tab2, err = ppm.Table2(o.AppSteps); err != nil {
 		return nil, err
-	}
-	if r.Fig4.Local, r.Fig4.Global, err = microbench.MessageSweep(); err != nil {
-		return nil, err
-	}
-	for _, size := range []pic.Size{pic.Small, pic.Large} {
-		sec, rate := pic.C90Reference(size, 500)
-		r.Tab1 = append(r.Tab1, struct {
-			Mesh      string  `json:"mesh"`
-			Particles int     `json:"particles"`
-			Mflops    float64 `json:"mflops"`
-			Seconds   float64 `json:"seconds"`
-		}{size.String(), size.Particles(), rate, sec})
-		for _, p := range []int{1, 2, 4, 8, 16} {
-			rs, err := pic.RunShared(size, p, o.PICSteps)
-			if err != nil {
-				return nil, err
-			}
-			r.Fig6 = append(r.Fig6, rs)
-			rp, err := pic.RunPVM(size, p, o.PICSteps)
-			if err != nil {
-				return nil, err
-			}
-			r.Fig6 = append(r.Fig6, rp)
-		}
-	}
-	for _, p := range []int{1, 2, 4, 8, 9, 12, 16} {
-		res, err := fem.Run(fem.SmallGrid, fem.GatherScatter, p, o.AppSteps)
-		if err != nil {
-			return nil, err
-		}
-		r.Fig7 = append(r.Fig7, res)
-	}
-	for _, n := range o.NBodySizes {
-		w := nbody.CountWorkload(n, o.NBodySample, o.Seed)
-		for _, cfg := range []struct{ p, hn int }{{1, 1}, {8, 1}, {8, 2}, {16, 2}} {
-			res, err := nbody.Run(w, cfg.p, cfg.hn, o.AppSteps)
-			if err != nil {
-				return nil, err
-			}
-			r.Fig8 = append(r.Fig8, res)
-		}
-	}
-	var err2 error
-	if r.Tab2, err2 = ppm.Table2(o.AppSteps); err2 != nil {
-		return nil, err2
 	}
 	return r, nil
 }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"spp1000/internal/runner"
+)
+
+// TestParallelDeterminism is the engine's core invariant: the rendered
+// output of the full paper suite must be byte-identical whether the
+// independent simulations run serially or fanned out across host
+// workers. Everything downstream (golden files, cross-PR perf
+// trajectories, the paper comparison itself) leans on this.
+func TestParallelDeterminism(t *testing.T) {
+	o := Quick()
+
+	runner.SetWorkers(1)
+	serial, err := All(o)
+	if err != nil {
+		runner.SetWorkers(0)
+		t.Fatal(err)
+	}
+
+	runner.SetWorkers(4)
+	parallel, err := All(o)
+	runner.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial != parallel {
+		t.Fatalf("output differs between -par 1 and -par 4:\n--- serial (%d bytes) ---\n%.400s\n--- parallel (%d bytes) ---\n%.400s",
+			len(serial), serial, len(parallel), parallel)
+	}
+	if len(serial) == 0 {
+		t.Fatal("All produced no output")
+	}
+}
+
+// TestRunManyMatchesRun checks the pooled dispatch returns exactly what
+// per-name Run calls return, in name order.
+func TestRunManyMatchesRun(t *testing.T) {
+	o := Quick()
+	names := []string{"fig2", "tab1", "fig4"}
+	runner.SetWorkers(4)
+	outs, err := RunMany(names, o)
+	runner.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		want, err := Run(name, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[i] != want {
+			t.Errorf("RunMany[%d] (%s) differs from serial Run", i, name)
+		}
+	}
+}
+
+// TestRunManyUnknownName surfaces the failing experiment.
+func TestRunManyUnknownName(t *testing.T) {
+	_, err := RunMany([]string{"fig2", "nope"}, Quick())
+	if err == nil {
+		t.Fatal("unknown name should error")
+	}
+	if !strings.Contains(err.Error(), "nope:") {
+		t.Fatalf("error should name the failing experiment, got %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"spp1000/internal/machine"
 	"spp1000/internal/pvm"
+	"spp1000/internal/runner"
 	"spp1000/internal/sim"
 	"spp1000/internal/stats"
 	"spp1000/internal/threads"
@@ -34,21 +35,31 @@ func ForkJoinCost(hypernodes, n int, place threads.Placement) (sim.Time, error) 
 }
 
 // ForkJoinSweep reproduces Fig. 2: fork-join time in microseconds versus
-// thread count, for high-locality and uniform placements.
+// thread count, for high-locality and uniform placements. Each sweep
+// point is an independent simulation on its own machine, so the points
+// are dispatched through the host worker pool and assembled in order.
 func ForkJoinSweep(hypernodes, maxThreads int) (highLocality, uniform *stats.Series, err error) {
-	highLocality = &stats.Series{Name: "high locality"}
-	uniform = &stats.Series{Name: "uniform distribution"}
-	for n := 1; n <= maxThreads; n++ {
+	type point struct{ hl, un sim.Time }
+	pts, err := runner.Map(maxThreads, func(i int) (point, error) {
+		n := i + 1
 		hl, err := ForkJoinCost(hypernodes, n, threads.HighLocality)
 		if err != nil {
-			return nil, nil, err
+			return point{}, err
 		}
-		highLocality.Add(float64(n), hl.Micros())
 		un, err := ForkJoinCost(hypernodes, n, threads.Uniform)
 		if err != nil {
-			return nil, nil, err
+			return point{}, err
 		}
-		uniform.Add(float64(n), un.Micros())
+		return point{hl, un}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	highLocality = &stats.Series{Name: "high locality"}
+	uniform = &stats.Series{Name: "uniform distribution"}
+	for i, pt := range pts {
+		highLocality.Add(float64(i+1), pt.hl.Micros())
+		uniform.Add(float64(i+1), pt.un.Micros())
 	}
 	return highLocality, uniform, nil
 }
@@ -89,14 +100,27 @@ func BarrierSweep(hypernodes, maxThreads int) ([]*stats.Series, error) {
 		{Name: "LIFO uniform"},
 		{Name: "LILO uniform"},
 	}
-	for n := 2; n <= maxThreads; n++ {
-		for i, place := range []threads.Placement{threads.HighLocality, threads.Uniform} {
+	type point struct{ lifo, lilo [2]sim.Time }
+	pts, err := runner.Map(maxThreads-1, func(i int) (point, error) {
+		n := i + 2
+		var pt point
+		for j, place := range []threads.Placement{threads.HighLocality, threads.Uniform} {
 			lifo, lilo, err := BarrierCost(hypernodes, n, place)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
-			series[2*i].Add(float64(n), lifo.Micros())
-			series[2*i+1].Add(float64(n), lilo.Micros())
+			pt.lifo[j], pt.lilo[j] = lifo, lilo
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		n := float64(i + 2)
+		for j := 0; j < 2; j++ {
+			series[2*j].Add(n, pt.lifo[j].Micros())
+			series[2*j+1].Add(n, pt.lilo[j].Micros())
 		}
 	}
 	return series, nil
@@ -151,19 +175,27 @@ func MessageSizes() []int {
 // MessageSweep reproduces Fig. 4: round-trip time in microseconds versus
 // message size for a local pair and a cross-hypernode pair.
 func MessageSweep() (local, global *stats.Series, err error) {
+	sizes := MessageSizes()
+	type point struct{ lt, gt sim.Time }
+	pts, err := runner.Map(len(sizes), func(i int) (point, error) {
+		lt, err := MessageRoundTrip(sizes[i], false)
+		if err != nil {
+			return point{}, err
+		}
+		gt, err := MessageRoundTrip(sizes[i], true)
+		if err != nil {
+			return point{}, err
+		}
+		return point{lt, gt}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	local = &stats.Series{Name: "local"}
 	global = &stats.Series{Name: "global"}
-	for _, size := range MessageSizes() {
-		lt, err := MessageRoundTrip(size, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		local.Add(float64(size), lt.Micros())
-		gt, err := MessageRoundTrip(size, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		global.Add(float64(size), gt.Micros())
+	for i, pt := range pts {
+		local.Add(float64(sizes[i]), pt.lt.Micros())
+		global.Add(float64(sizes[i]), pt.gt.Micros())
 	}
 	return local, global, nil
 }
@@ -231,19 +263,27 @@ func ContentionRoundTrip(bytes, pairs, rounds int, singleRing bool) (sim.Time, e
 // ContentionSweep reports mean cross-hypernode RT vs. concurrent pairs,
 // with the architected four rings and with a hypothetical single ring.
 func ContentionSweep(bytes int) (four, one *stats.Series, err error) {
+	type point struct{ four, one sim.Time }
+	pts, err := runner.Map(4, func(i int) (point, error) {
+		pairs := i + 1
+		f, err := ContentionRoundTrip(bytes, pairs, 8, false)
+		if err != nil {
+			return point{}, err
+		}
+		o, err := ContentionRoundTrip(bytes, pairs, 8, true)
+		if err != nil {
+			return point{}, err
+		}
+		return point{f, o}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	four = &stats.Series{Name: fmt.Sprintf("4 rings, %d B", bytes)}
 	one = &stats.Series{Name: fmt.Sprintf("1 ring, %d B", bytes)}
-	for pairs := 1; pairs <= 4; pairs++ {
-		rt, err := ContentionRoundTrip(bytes, pairs, 8, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		four.Add(float64(pairs), rt.Micros())
-		rt, err = ContentionRoundTrip(bytes, pairs, 8, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		one.Add(float64(pairs), rt.Micros())
+	for i, pt := range pts {
+		four.Add(float64(i+1), pt.four.Micros())
+		one.Add(float64(i+1), pt.one.Micros())
 	}
 	return four, one, nil
 }

@@ -1,0 +1,107 @@
+// Package runner is the host-parallel experiment engine: a worker pool
+// that fans independent simulations out across the host's cores while
+// keeping every observable output byte-identical to a serial run.
+//
+// Each (experiment, thread-count, problem-size) sweep point in this
+// repository is an independent deterministic simulation on its own
+// freshly built machine, so sweeps are embarrassingly parallel across
+// the host — the same lever ScaleSimulator-style parallel simulators
+// pull. Determinism is preserved by construction: workers only compute
+// results into their own index slot; all rendering and accumulation
+// happens in index order after the pool drains.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured pool width; 0 means "use GOMAXPROCS".
+var workers atomic.Int64
+
+// SetWorkers fixes the number of host workers used by Map and Each.
+// n <= 0 restores the default (GOMAXPROCS). SetWorkers(1) recovers the
+// exact serial execution order, which is useful for debugging and for
+// the determinism tests that compare serial and parallel output.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Workers reports the effective pool width.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0), …, fn(n-1) on the worker pool and returns the results
+// in index order. fn must be safe to call concurrently with itself —
+// in this repository that holds because every sweep point builds its
+// own machine. If any call fails, Map returns the error of the lowest
+// failing index (matching what a serial loop would have surfaced
+// first); results are discarded.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("run %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Each is Map for side-effecting work with no result value.
+func Each(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Sections runs a set of heterogeneous independent stages — each
+// rendering its own fragment — and returns the fragments in order.
+// It is the pool-dispatch form of "run these report sections, then
+// concatenate".
+func Sections(fns ...func() (string, error)) ([]string, error) {
+	return Map(len(fns), func(i int) (string, error) { return fns[i]() })
+}

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(0) })
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 9} {
+		withWorkers(t, w)
+		got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapReportsLowestFailingIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w)
+		_, err := Map(50, func(i int) (int, error) {
+			if i == 7 || i == 33 {
+				return 0, fmt.Errorf("%w at %d", sentinel, i)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", w, err)
+		}
+		if !strings.HasPrefix(err.Error(), "run 7:") {
+			t.Fatalf("workers=%d: err = %v, want the lowest failing index (7)", w, err)
+		}
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Skip("no cores")
+	}
+	withWorkers(t, 4)
+	var peak, cur atomic.Int64
+	gate := make(chan struct{})
+	_, err := Map(4, func(i int) (int, error) {
+		c := cur.Add(1)
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		if c == 4 {
+			close(gate) // all four in flight together
+		}
+		<-gate
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 4 {
+		t.Fatalf("peak concurrency %d, want 4", peak.Load())
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	withWorkers(t, 3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative SetWorkers should restore the default")
+	}
+}
+
+func TestEach(t *testing.T) {
+	withWorkers(t, 4)
+	var sum atomic.Int64
+	if err := Each(64, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 64*63/2 {
+		t.Fatalf("sum = %d, want %d", sum.Load(), 64*63/2)
+	}
+	if err := Each(3, func(i int) error { return errors.New("x") }); err == nil {
+		t.Fatal("Each should surface errors")
+	}
+}
+
+func TestSections(t *testing.T) {
+	withWorkers(t, 2)
+	got, err := Sections(
+		func() (string, error) { return "a", nil },
+		func() (string, error) { return "b", nil },
+		func() (string, error) { return "c", nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "") != "abc" {
+		t.Fatalf("Sections = %v, want a,b,c in order", got)
+	}
+}

@@ -1,36 +1,86 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // event is a callback scheduled at a virtual time. Events with equal
 // timestamps fire in the order they were scheduled (seq breaks ties),
 // which makes the simulation deterministic.
+//
+// The common case by far is a pure timed wake-up of a parked Proc
+// (Delay, synchronization releases). Those carry the Proc directly in
+// proc and leave fn nil: the kernel hands the baton straight to the
+// goroutine with no closure allocated and no intermediate call.
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	proc *Proc  // fast path: resume this Proc directly
+	fn   func() // general callback, used when proc is nil
 }
 
+// eventHeap is a concrete-typed binary min-heap ordered by (at, seq).
+// It deliberately does not implement container/heap: the interface{}
+// boxing there costs two heap allocations per event (one on Push, one
+// on Pop), which at hundreds of millions of simulated events dominates
+// the host profile. Pop order is a pure function of the (at, seq) keys
+// — which are totally ordered, seq being unique — so replacing the heap
+// implementation cannot change the event schedule.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	e := old[0]
+	old[0] = old[n]
+	old[n] = event{} // drop fn/proc references so they can be collected
+	*h = old[:n]
+	if n > 1 {
+		h.down(0)
+	}
 	return e
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // Kernel is a discrete-event simulator: a virtual clock plus an ordered
@@ -66,7 +116,18 @@ func (k *Kernel) At(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// atProc schedules a direct resumption of p at absolute time t — the
+// timed-wake-up fast path. Equivalent to At(t, func() { resumeProc(p) })
+// but with no closure allocation and no indirect call in the event loop.
+func (k *Kernel) atProc(t Time, p *Proc) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.events.push(event{at: t, seq: k.seq, proc: p})
 }
 
 // After schedules fn to run d cycles from now.
@@ -81,9 +142,13 @@ func (k *Kernel) OnDeadlock(fn func() string) { k.deadlock = fn }
 // a deadlock in the simulated program.
 func (k *Kernel) Run() error {
 	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
-		e.fn()
+		if e.proc != nil {
+			k.resumeProc(e.proc)
+		} else {
+			e.fn()
+		}
 	}
 	if k.live > 0 {
 		msg := fmt.Sprintf("sim: deadlock: %d procs alive, no events pending at %v", k.live, k.now)
@@ -99,9 +164,13 @@ func (k *Kernel) Run() error {
 // pass t. The clock is left at min(t, time of last event executed).
 func (k *Kernel) RunUntil(t Time) error {
 	for len(k.events) > 0 && k.events[0].at <= t {
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
-		e.fn()
+		if e.proc != nil {
+			k.resumeProc(e.proc)
+		} else {
+			e.fn()
+		}
 	}
 	if k.now < t {
 		k.now = t

@@ -25,7 +25,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		k.live--
 		k.yield <- struct{}{} // return the baton for good
 	}()
-	k.After(0, func() { k.resumeProc(p) })
+	k.atProc(k.now, p)
 	return p
 }
 
@@ -41,7 +41,7 @@ func (k *Kernel) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
 		k.live--
 		k.yield <- struct{}{}
 	}()
-	k.At(t, func() { k.resumeProc(p) })
+	k.atProc(t, p)
 	return p
 }
 
@@ -63,17 +63,19 @@ func (p *Proc) park(why string) {
 	p.state = "running"
 }
 
-// unparkAt schedules the Proc to resume at absolute time t.
+// unparkAt schedules the Proc to resume at absolute time t, on the
+// kernel's direct-resume fast path (no closure, no intermediate call).
 func (p *Proc) unparkAt(t Time) {
-	p.k.At(t, func() { p.k.resumeProc(p) })
+	p.k.atProc(t, p)
 }
 
 // Delay advances the Proc's local view of time by d cycles: it parks and
-// resumes after all events up to now+d have fired.
+// resumes after all events up to now+d have fired. Negative delays are
+// clamped to zero — the virtual clock is monotonic, so the Proc cannot
+// travel backwards; a zero delay still yields, letting same-time events
+// interleave in deterministic scheduled order.
 func (p *Proc) Delay(d Time) {
-	if d <= 0 {
-		// Even a zero delay yields, letting same-time events interleave
-		// in deterministic scheduled order.
+	if d < 0 {
 		d = 0
 	}
 	p.unparkAt(p.k.now + d)
