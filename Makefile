@@ -5,9 +5,13 @@ GO ?= go
 # PR-numbered benchmark artifact (bump per PR to track the trajectory).
 BENCH_JSON ?= BENCH_1.json
 
-.PHONY: all build test race bench vet cover reproduce quick examples clean
+.PHONY: all verify build test race bench vet cover reproduce quick serve examples clean
 
 all: build vet test race
+
+# Tier-1 verification chain: compile, static checks, tests, race tests.
+verify:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -41,6 +45,12 @@ reproduce:
 # Reduced problem sizes for CI.
 quick:
 	$(GO) run ./cmd/sppbench -exp all -quick
+
+# Simulation-as-a-service daemon on a local port; drive it with
+#   go run ./cmd/sppctl submit -exp fig6 -quick -wait
+SPPD_ADDR ?= 127.0.0.1:8177
+serve:
+	$(GO) run ./cmd/sppd -addr $(SPPD_ADDR)
 
 examples:
 	$(GO) run ./examples/quickstart

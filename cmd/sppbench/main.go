@@ -31,6 +31,10 @@ func main() {
 	par := flag.Int("par", 0, "host workers for independent simulations (0 = all cores, 1 = serial)")
 	flag.Parse()
 
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "sppbench: -par must be >= 0 (0 = all cores, 1 = serial), got %d\n", *par)
+		os.Exit(2)
+	}
 	runner.SetWorkers(*par)
 
 	opts := experiments.Defaults()
@@ -54,19 +58,12 @@ func main() {
 		return
 	}
 
-	var names []string
-	switch *exp {
-	case "all":
-		names = experiments.Names
-	case "extra":
-		names = experiments.Extra
-	case "everything":
-		names = append(append([]string{}, experiments.Names...), experiments.Extra...)
-	default:
-		names = strings.Split(*exp, ",")
-	}
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
+	// Validate before running anything: an unknown or empty id must be
+	// a loud nonzero exit, not a partial (or empty) report.
+	names, err := experiments.ResolveNames(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sppbench: %v\n", err)
+		os.Exit(2)
 	}
 	outs, err := experiments.RunMany(names, opts)
 	if err != nil {

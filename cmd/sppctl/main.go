@@ -1,0 +1,327 @@
+// Command sppctl drives a running sppd daemon.
+//
+// Usage:
+//
+//	sppctl submit -exp fig6,tab2 [-quick] [-seed 7] [-wait]
+//	sppctl status <job-id>
+//	sppctl result <job-id>
+//	sppctl watch  <job-id>          # poll until finished, print result
+//	sppctl cancel <job-id>
+//	sppctl list
+//	sppctl metrics
+//
+// The daemon address comes from -addr or the SPPD_ADDR environment
+// variable (default http://127.0.0.1:8177). Identical submissions are
+// deduplicated server-side: submit prints the job's content-address id,
+// and a repeat submit of the same configuration returns instantly with
+// the cached result available.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spp1000/internal/experiments"
+	"spp1000/internal/service"
+)
+
+func defaultAddr() string {
+	if a := os.Getenv("SPPD_ADDR"); a != "" {
+		return a
+	}
+	return "http://127.0.0.1:8177"
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sppctl [-addr URL] {submit|status|result|watch|cancel|list|metrics} ...\n")
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", defaultAddr(), "sppd base URL (or $SPPD_ADDR)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = c.submit(rest)
+	case "status":
+		err = c.status(rest)
+	case "result":
+		err = c.result(rest)
+	case "watch":
+		err = c.watch(rest)
+	case "cancel":
+		err = c.cancel(rest)
+	case "list":
+		err = c.list()
+	case "metrics":
+		err = c.metrics()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sppctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+func (c *client) do(method, path string, body io.Reader) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s %s: %w (is sppd running? try `make serve`)", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp, data, err
+}
+
+// apiErr turns an error-shaped JSON response into a readable error.
+func apiErr(resp *http.Response, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+}
+
+func printView(v service.JobView) {
+	fmt.Printf("job:    %s\n", v.ID)
+	fmt.Printf("exp:    %s\n", strings.Join(v.Experiments, ","))
+	fmt.Printf("status: %s", v.Status)
+	if v.Cached {
+		fmt.Printf(" (cached)")
+	}
+	fmt.Println()
+	if v.Error != "" {
+		fmt.Printf("error:  %s\n", v.Error)
+	}
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment ids (all, extra, everything, or comma-separated)")
+	quick := fs.Bool("quick", false, "reduced problem sizes")
+	seed := fs.Uint64("seed", 0, "override the workload seed (0 = option default)")
+	picSteps := fs.Int("picsteps", 0, "override PIC steps (0 = option default)")
+	appSteps := fs.Int("appsteps", 0, "override app steps (0 = option default)")
+	nbodySample := fs.Int("nbodysample", 0, "override N-body sample (0 = option default)")
+	nbodySizes := fs.String("nbodysizes", "", "override N-body sizes, comma-separated")
+	wait := fs.Bool("wait", false, "block until the job finishes and print the result")
+	fs.Parse(args)
+
+	names, err := experiments.ResolveNames(*exp)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *picSteps != 0 {
+		opts.PICSteps = *picSteps
+	}
+	if *appSteps != 0 {
+		opts.AppSteps = *appSteps
+	}
+	if *nbodySample != 0 {
+		opts.NBodySample = *nbodySample
+	}
+	if *nbodySizes != "" {
+		var sizes []int
+		for _, s := range strings.Split(*nbodySizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -nbodysizes element %q: %w", s, err)
+			}
+			sizes = append(sizes, n)
+		}
+		opts.NBodySizes = sizes
+	}
+
+	body, err := json.Marshal(map[string]any{"experiments": names, "options": opts})
+	if err != nil {
+		return err
+	}
+	resp, data, err := c.do(http.MethodPost, "/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return apiErr(resp, data)
+	}
+	var v service.JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	printView(v)
+	if *wait {
+		return c.watch([]string{v.ID})
+	}
+	return nil
+}
+
+func oneID(args []string, cmd string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: sppctl %s <job-id>", cmd)
+	}
+	return args[0], nil
+}
+
+func (c *client) fetchView(id string) (service.JobView, error) {
+	resp, data, err := c.do(http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.JobView{}, apiErr(resp, data)
+	}
+	var v service.JobView
+	return v, json.Unmarshal(data, &v)
+}
+
+func (c *client) status(args []string) error {
+	id, err := oneID(args, "status")
+	if err != nil {
+		return err
+	}
+	v, err := c.fetchView(id)
+	if err != nil {
+		return err
+	}
+	printView(v)
+	return nil
+}
+
+func (c *client) result(args []string) error {
+	id, err := oneID(args, "result")
+	if err != nil {
+		return err
+	}
+	resp, data, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		fmt.Print(string(data))
+		return nil
+	case http.StatusAccepted:
+		var v service.JobView
+		if json.Unmarshal(data, &v) == nil {
+			return fmt.Errorf("job is still %s (try `sppctl watch %s`)", v.Status, id)
+		}
+		return fmt.Errorf("job not finished")
+	default:
+		return apiErr(resp, data)
+	}
+}
+
+func (c *client) watch(args []string) error {
+	id, err := oneID(args, "watch")
+	if err != nil {
+		return err
+	}
+	last := ""
+	for {
+		v, err := c.fetchView(id)
+		if err != nil {
+			return err
+		}
+		if v.Status != last {
+			fmt.Fprintf(os.Stderr, "sppctl: job %.12s… %s\n", id, v.Status)
+			last = v.Status
+		}
+		if service.Status(v.Status).Terminal() {
+			if service.Status(v.Status) != service.StatusDone {
+				return fmt.Errorf("job %s: %s", v.Status, v.Error)
+			}
+			return c.result([]string{id})
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func (c *client) cancel(args []string) error {
+	id, err := oneID(args, "cancel")
+	if err != nil {
+		return err
+	}
+	resp, data, err := c.do(http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return apiErr(resp, data)
+	}
+	var v service.JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	printView(v)
+	return nil
+}
+
+func (c *client) list() error {
+	resp, data, err := c.do(http.MethodGet, "/v1/jobs", nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp, data)
+	}
+	var views []service.JobView
+	if err := json.Unmarshal(data, &views); err != nil {
+		return err
+	}
+	if len(views) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	for _, v := range views {
+		cached := ""
+		if v.Cached {
+			cached = " cached"
+		}
+		fmt.Printf("%.12s…  %-8s%s  %s\n", v.ID, v.Status, cached, strings.Join(v.Experiments, ","))
+	}
+	return nil
+}
+
+func (c *client) metrics() error {
+	resp, data, err := c.do(http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp, data)
+	}
+	fmt.Print(string(data))
+	return nil
+}

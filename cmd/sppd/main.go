@@ -1,0 +1,83 @@
+// Command sppd runs the simulator as a long-lived service: submit
+// experiment jobs over HTTP, poll their status, fetch rendered results.
+// Every job is content-addressed by the canonical hash of its full
+// configuration, so identical submissions are served from the result
+// cache (or coalesced onto one in-flight run) instead of re-simulating.
+//
+// Usage:
+//
+//	sppd                          # listen on :8177
+//	sppd -addr :9000 -queue 128   # custom port, deeper queue
+//	sppd -jobs 2 -par 4           # 2 concurrent jobs, 4 host workers each
+//
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result],
+// DELETE /v1/jobs/{id}, GET /metrics, GET /healthz. See docs/SERVICE.md.
+// Drive it with cmd/sppctl. SIGINT/SIGTERM drain gracefully: running
+// jobs finish (up to -drain), new submissions get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spp1000/internal/runner"
+	"spp1000/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8177", "listen address")
+	queue := flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
+	jobs := flag.Int("jobs", 1, "jobs executed concurrently")
+	par := flag.Int("par", 0, "host workers per job for independent simulations (0 = all cores)")
+	cacheCap := flag.Int("cache", 256, "completed results kept for reuse (<0 = unbounded)")
+	drain := flag.Duration("drain", 5*time.Minute, "max time to drain jobs on shutdown")
+	flag.Parse()
+
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "sppd: -par must be >= 0 (got %d)\n", *par)
+		os.Exit(2)
+	}
+	runner.SetWorkers(*par)
+
+	srv := service.New(service.Config{
+		QueueDepth:    *queue,
+		Workers:       *jobs,
+		CacheCapacity: *cacheCap,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sppd: listening on %s (queue %d, %d concurrent jobs, %d host workers)",
+			*addr, *queue, *jobs, runner.Workers())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("sppd: %v, draining (max %v)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("sppd: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sppd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("sppd: drain incomplete: %v", err)
+	}
+	log.Printf("sppd: drained cleanly")
+}

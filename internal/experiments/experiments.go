@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,20 +21,22 @@ import (
 	"spp1000/internal/stats"
 )
 
-// Options scales the experiments.
+// Options scales the experiments. The json tags are the sppd wire
+// names; adding a field requires extending Spec.Canonical (enforced by
+// TestCanonicalCoversOptions).
 type Options struct {
 	// PICSteps is the simulated-timestep count for Fig. 6 runs; results
 	// are reported scaled to the paper's 500 steps (per-step work is
 	// uniform). Default 25.
-	PICSteps int
+	PICSteps int `json:"picSteps"`
 	// NBodySizes are the Fig. 8 problem sizes. Default the paper's
 	// 32K / 256K / 2M.
-	NBodySizes []int
+	NBodySizes []int `json:"nBodySizes"`
 	// NBodySample is the per-block traversal sample for counting.
-	NBodySample int
+	NBodySample int `json:"nBodySample"`
 	// AppSteps is the step count for FEM / N-body / PPM timing runs.
-	AppSteps int
-	Seed     uint64
+	AppSteps int `json:"appSteps"`
+	Seed     uint64 `json:"seed"`
 }
 
 // Defaults returns the paper-scale options.
@@ -104,11 +107,13 @@ func Tab1(o Options) (string, error) {
 // memory versus PVM, with the C90 reference line. Every (size, procs)
 // point is two independent simulations; the full grid is dispatched
 // through the worker pool, then rendered serially in sweep order.
-func Fig6(o Options) (string, error) {
+func Fig6(o Options) (string, error) { return fig6(context.Background(), o) }
+
+func fig6(ctx context.Context, o Options) (string, error) {
 	procs := []int{1, 2, 4, 8, 12, 16}
 	sizes := []pic.Size{pic.Small, pic.Large}
 	type point struct{ rs, rp pic.Result }
-	pts, err := runner.Map(len(sizes)*len(procs), func(i int) (point, error) {
+	pts, err := runner.MapCtx(ctx, len(sizes)*len(procs), func(i int) (point, error) {
 		size, p := sizes[i/len(procs)], procs[i%len(procs)]
 		rs, err := pic.RunShared(size, p, o.PICSteps)
 		if err != nil {
@@ -153,10 +158,12 @@ func Fig6(o Options) (string, error) {
 
 // Fig7 reproduces Figure 7: FEM performance on the small and large
 // datasets, both codings, with the C90 line.
-func Fig7(o Options) (string, error) {
+func Fig7(o Options) (string, error) { return fig7(context.Background(), o) }
+
+func fig7(ctx context.Context, o Options) (string, error) {
 	procs := []int{1, 2, 4, 8, 9, 10, 12, 14, 16}
 	type point struct{ small1, small2, large float64 }
-	pts, err := runner.Map(len(procs), func(i int) (point, error) {
+	pts, err := runner.MapCtx(ctx, len(procs), func(i int) (point, error) {
 		p := procs[i]
 		var pt point
 		r, err := fem.Run(fem.SmallGrid, fem.GatherScatter, p, o.AppSteps)
@@ -195,10 +202,12 @@ func Fig7(o Options) (string, error) {
 
 // Fig8 reproduces Figure 8: N-body speedup for three problem sizes on
 // one and two hypernodes.
-func Fig8(o Options) (string, error) {
+func Fig8(o Options) (string, error) { return fig8(context.Background(), o) }
+
+func fig8(ctx context.Context, o Options) (string, error) {
 	// Stage 1: the counted workloads (host-side tree builds — by far the
 	// heaviest host compute in the suite) in parallel across sizes.
-	ws, err := runner.Map(len(o.NBodySizes), func(i int) (*nbody.Workload, error) {
+	ws, err := runner.MapCtx(ctx, len(o.NBodySizes), func(i int) (*nbody.Workload, error) {
 		return nbody.CountWorkload(o.NBodySizes[i], o.NBodySample, o.Seed), nil
 	})
 	if err != nil {
@@ -209,7 +218,7 @@ func Fig8(o Options) (string, error) {
 	cfgs := []struct{ p, hn int }{
 		{1, 1}, {2, 1}, {4, 1}, {8, 1}, {2, 2}, {4, 2}, {8, 2}, {16, 2},
 	}
-	res, err := runner.Map(len(ws)*len(cfgs), func(i int) (nbody.Result, error) {
+	res, err := runner.MapCtx(ctx, len(ws)*len(cfgs), func(i int) (nbody.Result, error) {
 		return nbody.Run(ws[i/len(cfgs)], cfgs[i%len(cfgs)].p, cfgs[i%len(cfgs)].hn, o.AppSteps)
 	})
 	if err != nil {
@@ -283,12 +292,14 @@ func Scale(o Options) (string, error) { return ablation.ScaleReport() }
 // AMR runs the adaptive-mesh-refinement extension: the PPM shock
 // problem on a PARAMESH-style quadtree of blocks, timed on the
 // simulated machine against the equivalent uniform fine grid.
-func AMR(o Options) (string, error) {
+func AMR(o Options) (string, error) { return amrReport(context.Background(), o) }
+
+func amrReport(ctx context.Context, o Options) (string, error) {
 	var b strings.Builder
 	b.WriteString("AMR extension: PPM shock on a PARAMESH-style block quadtree\n")
 	tb := stats.NewTable("", "procs", "sim seconds", "Mflop/s", "leaves", "max level", "zones saved")
 	ps := []int{1, 4, 8, 16}
-	res, err := runner.Map(len(ps), func(i int) (amr.Result, error) {
+	res, err := runner.MapCtx(ctx, len(ps), func(i int) (amr.Result, error) {
 		d, err := amr.New(4, 1)
 		if err != nil {
 			return amr.Result{}, err
@@ -340,13 +351,67 @@ var (
 	Extra = []string{"ablate", "scale", "classes", "amr"}
 )
 
+// Known reports whether name is a runnable experiment id.
+func Known(name string) bool {
+	for _, n := range Names {
+		if n == name {
+			return true
+		}
+	}
+	for _, n := range Extra {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveNames expands an -exp style expression — "all", "extra",
+// "everything", or a comma-separated list of ids — into a validated,
+// whitespace-trimmed name list. Unknown or empty ids are an error that
+// names the offender and the valid vocabulary, so callers (sppbench,
+// sppd) fail loudly instead of running nothing.
+func ResolveNames(expr string) ([]string, error) {
+	switch strings.TrimSpace(expr) {
+	case "all":
+		return append([]string{}, Names...), nil
+	case "extra":
+		return append([]string{}, Extra...), nil
+	case "everything":
+		return append(append([]string{}, Names...), Extra...), nil
+	}
+	var names []string
+	for _, raw := range strings.Split(expr, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			return nil, fmt.Errorf("empty experiment name in %q (expected all, extra, everything, or ids from %v and %v)", expr, Names, Extra)
+		}
+		if !Known(name) {
+			return nil, fmt.Errorf("unknown experiment %q (expected all, extra, everything, or ids from %v and %v)", name, Names, Extra)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no experiments selected by %q", expr)
+	}
+	return names, nil
+}
+
 // RunMany executes the named experiments through the host worker pool
 // and returns the rendered outputs in name order. The rendering of each
 // experiment — and of the whole sequence — is byte-identical to calling
 // Run serially: workers fill their own slots and assembly is ordered.
 func RunMany(names []string, o Options) ([]string, error) {
-	return runner.Map(len(names), func(i int) (string, error) {
-		out, err := Run(names[i], o)
+	return RunManyCtx(context.Background(), names, o)
+}
+
+// RunManyCtx is RunMany with cancellation: a done ctx stops both the
+// experiment-level dispatch and the sweep-point dispatch inside each
+// experiment that fans out (fig6/fig7/fig8/amr). In-flight simulations
+// run to completion; everything still queued is skipped.
+func RunManyCtx(ctx context.Context, names []string, o Options) ([]string, error) {
+	return runner.MapCtx(ctx, len(names), func(i int) (string, error) {
+		out, err := RunCtx(ctx, names[i], o)
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", names[i], err)
 		}
@@ -358,7 +423,12 @@ func RunMany(names []string, o Options) ([]string, error) {
 // concatenation of their renderings, each prefixed by its banner —
 // exactly the text `sppbench -exp all` prints.
 func All(o Options) (string, error) {
-	outs, err := RunMany(Names, o)
+	return AllCtx(context.Background(), o)
+}
+
+// AllCtx is All with cancellation (see RunManyCtx).
+func AllCtx(ctx context.Context, o Options) (string, error) {
+	outs, err := RunManyCtx(ctx, Names, o)
 	if err != nil {
 		return "", err
 	}
@@ -371,6 +441,17 @@ func All(o Options) (string, error) {
 
 // Run executes one experiment by name.
 func Run(name string, o Options) (string, error) {
+	return RunCtx(context.Background(), name, o)
+}
+
+// RunCtx executes one experiment by name under ctx. Experiments that
+// fan sweep points onto the worker pool stop dispatching new points once
+// ctx is done; the single-simulation experiments check ctx only on
+// entry (each is one indivisible deterministic run).
+func RunCtx(ctx context.Context, name string, o Options) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	switch name {
 	case "fig2":
 		return Fig2(o)
@@ -381,11 +462,11 @@ func Run(name string, o Options) (string, error) {
 	case "tab1":
 		return Tab1(o)
 	case "fig6":
-		return Fig6(o)
+		return fig6(ctx, o)
 	case "fig7":
-		return Fig7(o)
+		return fig7(ctx, o)
 	case "fig8":
-		return Fig8(o)
+		return fig8(ctx, o)
 	case "tab2":
 		return Tab2(o)
 	case "ablate":
@@ -395,7 +476,7 @@ func Run(name string, o Options) (string, error) {
 	case "classes":
 		return Classes(o)
 	case "amr":
-		return AMR(o)
+		return amrReport(ctx, o)
 	}
 	return "", fmt.Errorf("unknown experiment %q (have %v and %v)", name, Names, Extra)
 }

@@ -1,0 +1,191 @@
+// Package resultcache is a content-addressed result store with in-flight
+// coalescing, built for the simulation service: every job in this
+// repository is a pure deterministic function of its canonical
+// configuration (experiments.Spec.Key), so a result computed once is
+// correct forever and concurrent identical requests can share a single
+// run. The same property lets ScaleSimulator-style tools amortize one
+// simulation across many studies; here it turns the daemon's hot path
+// into a hash lookup.
+package resultcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts cache outcomes. All fields are cumulative.
+type Stats struct {
+	// Hits are calls answered from a completed entry with no new run.
+	Hits int64
+	// Misses are calls that became the leader and executed the compute
+	// function.
+	Misses int64
+	// Coalesced are calls that arrived while an identical computation
+	// was in flight and waited for it instead of starting another.
+	Coalesced int64
+	// Evictions are completed entries dropped to respect the capacity
+	// bound.
+	Evictions int64
+}
+
+// HitRatio is hits over total lookups (0 when no lookups yet).
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one content-addressed slot. ready is closed when val/err are
+// final; until then followers block on it (or their ctx).
+type entry struct {
+	ready chan struct{}
+	val   string
+	err   error
+}
+
+// Cache maps content keys to computed results. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string // completed keys, oldest first, for FIFO eviction
+	cap     int      // max completed entries; 0 = unbounded
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a cache bounded to capacity completed entries; capacity
+// <= 0 means unbounded. In-flight computations never count against the
+// bound (evicting them would orphan waiters).
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{entries: make(map[string]*entry), cap: capacity}
+}
+
+// Get reports the completed result for key, if present. In-flight
+// entries are invisible to Get (use Do to join them). Get does not
+// touch the hit/miss statistics — it is a peek, not a lookup.
+func (c *Cache) Get(key string) (string, bool) {
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		return "", false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return "", false
+	}
+	if e.err != nil {
+		return "", false
+	}
+	return e.val, true
+}
+
+// Do returns the result for key, computing it with fn at most once per
+// completed entry: the first caller for a key becomes the leader and
+// runs fn; callers arriving while the leader is in flight coalesce onto
+// the same run; callers after completion are served from the store.
+//
+// The outcome reports how this call was answered (Hit, Miss, or
+// Coalesced in the Stats sense). Failed computations are not cached —
+// the entry is removed so a later call may retry — but every coalesced
+// waiter of the failed run receives the leader's error.
+//
+// ctx cancels only the *wait* of a coalesced caller (the leader's run
+// is shared state and is cancelled by whoever owns its own context);
+// a cancelled waiter returns ctx.Err() while the computation proceeds
+// for the others.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (string, error)) (string, Outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, Hit, e.err
+		default:
+		}
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-e.ready:
+			return e.val, Coalesced, e.err
+		case <-ctx.Done():
+			return "", Coalesced, ctx.Err()
+		}
+	}
+	e := &entry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.val, e.err = fn()
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Do not cache failures; let a future submission retry.
+		delete(c.entries, key)
+	} else {
+		c.order = append(c.order, key)
+		for c.cap > 0 && len(c.order) > c.cap {
+			victim := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, victim)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.val, Miss, e.err
+}
+
+// Outcome describes how a Do call was answered.
+type Outcome int
+
+const (
+	// Miss: this call ran the computation.
+	Miss Outcome = iota
+	// Hit: served from a completed entry.
+	Hit
+	// Coalesced: joined an in-flight computation.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Len reports the number of entries (completed + in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,198 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	c := New(0)
+	var runs atomic.Int64
+	fn := func() (string, error) { runs.Add(1); return "r", nil }
+
+	v, out, err := c.Do(context.Background(), "k", fn)
+	if err != nil || v != "r" || out != Miss {
+		t.Fatalf("first Do = %q, %v, %v; want r, miss, nil", v, out, err)
+	}
+	v, out, err = c.Do(context.Background(), "k", fn)
+	if err != nil || v != "r" || out != Hit {
+		t.Fatalf("second Do = %q, %v, %v; want r, hit, nil", v, out, err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	if got, ok := c.Get("k"); !ok || got != "r" {
+		t.Fatalf("Get = %q, %v; want r, true", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Coalesced != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r := s.HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+// TestDoCoalescesConcurrent: many goroutines requesting the same key
+// while the computation is in flight share one run.
+func TestDoCoalescesConcurrent(t *testing.T) {
+	c := New(0)
+	var runs atomic.Int64
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 16
+
+	var wg sync.WaitGroup
+	leaderDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(context.Background(), "k", func() (string, error) {
+			close(inFn)
+			<-release
+			runs.Add(1)
+			return "shared", nil
+		})
+		leaderDone <- err
+	}()
+	<-inFn // leader is inside fn; everyone below must coalesce
+
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out, err := c.Do(context.Background(), "k", func() (string, error) {
+				return "", errors.New("second run must not happen")
+			})
+			// A waiter that reaches Do after the leader completes is a
+			// legitimate Hit; what may never happen is a second run.
+			if err == nil && (v != "shared" || out == Miss) {
+				err = fmt.Errorf("got %q, %v; want shared via hit or coalesce", v, out)
+			}
+			errs <- err
+		}()
+	}
+	// Let all waiters block, then release the leader. A sleep-free
+	// handshake is impossible here (waiters park inside Do), but the
+	// assertion below does not depend on when release happens.
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("computation ran %d times, want 1", runs.Load())
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits+s.Coalesced != waiters {
+		t.Fatalf("stats = %+v, want 1 miss and %d hit+coalesced", s, waiters)
+	}
+}
+
+func TestDoDoesNotCacheErrors(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(context.Background(), "k", func() (string, error) { calls++; return "", boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed result should not be cached")
+	}
+	v, out, err := c.Do(context.Background(), "k", func() (string, error) { calls++; return "ok", nil })
+	if err != nil || v != "ok" || out != Miss {
+		t.Fatalf("retry = %q, %v, %v", v, out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn called %d times, want 2 (failure then retry)", calls)
+	}
+}
+
+func TestCoalescedWaiterHonorsContext(t *testing.T) {
+	c := New(0)
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (string, error) {
+		close(inFn)
+		<-release
+		return "late", nil
+	})
+	<-inFn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.Do(ctx, "k", nil)
+	if !errors.Is(err, context.Canceled) || out != Coalesced {
+		t.Fatalf("cancelled waiter = %v, %v; want coalesced, context.Canceled", out, err)
+	}
+	close(release)
+	// The leader's result must still land for future callers.
+	v, _, err := c.Do(context.Background(), "k", nil)
+	if err != nil || v != "late" {
+		t.Fatalf("post-cancel Do = %q, %v", v, err)
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(context.Background(), key, func() (string, error) { return key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 should have been evicted (FIFO, cap 2)")
+	}
+	for _, key := range []string{"k1", "k2"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s should survive", key)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+// TestDoConcurrentDistinctKeys: hammer the cache from many goroutines
+// across a small key space; every call must observe the key's value and
+// the run count per key must be exactly one. Run with -race.
+func TestDoConcurrentDistinctKeys(t *testing.T) {
+	c := New(0)
+	const keys = 8
+	var runs [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4*keys; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := g % keys
+			v, _, err := c.Do(context.Background(), fmt.Sprintf("k%d", k), func() (string, error) {
+				runs[k].Add(1)
+				return fmt.Sprintf("v%d", k), nil
+			})
+			if err != nil || v != fmt.Sprintf("v%d", k) {
+				t.Errorf("key %d: got %q, %v", k, v, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := runs[k].Load(); n != 1 {
+			t.Fatalf("key %d ran %d times, want 1", k, n)
+		}
+	}
+}

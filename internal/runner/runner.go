@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,6 +48,18 @@ func Workers() int {
 // failing index (matching what a serial loop would have surfaced
 // first); results are discarded.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is done, no further indices
+// are dispatched. Sweep points already executing run to completion (each
+// is a self-contained deterministic simulation with no cancellation
+// points inside), so cancelling stops the queue, not the in-flight work.
+// Undispatched indices report ctx's error, so a cancelled MapCtx returns
+// a non-nil error wrapping context.Canceled / DeadlineExceeded. With a
+// never-cancelled ctx the dispatch order, results, and errors are
+// exactly Map's — the byte-identical -par semantics are untouched.
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -57,6 +70,9 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("run %d: %w", i, err)
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, fmt.Errorf("run %d: %w", i, err)
@@ -77,6 +93,10 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				out[i], errs[i] = fn(i)
 			}
 		}()
@@ -92,7 +112,12 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 
 // Each is Map for side-effecting work with no result value.
 func Each(n int, fn func(i int) error) error {
-	_, err := Map(n, func(i int) (struct{}, error) {
+	return EachCtx(context.Background(), n, fn)
+}
+
+// EachCtx is MapCtx for side-effecting work with no result value.
+func EachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	_, err := MapCtx(ctx, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -109,6 +110,76 @@ func TestEach(t *testing.T) {
 	}
 	if err := Each(3, func(i int) error { return errors.New("x") }); err == nil {
 		t.Fatal("Each should surface errors")
+	}
+}
+
+func TestMapCtxMatchesMap(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w)
+		got, err := MapCtx(context.Background(), 32, func(i int) (int, error) { return i + 1, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Map(32, func(i int) (int, error) { return i + 1, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: MapCtx diverges from Map at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w)
+		ctx, cancel := context.WithCancel(context.Background())
+		var dispatched atomic.Int64
+		const n = 1000
+		_, err := MapCtx(ctx, n, func(i int) (int, error) {
+			if dispatched.Add(1) == int64(w) {
+				cancel() // cancel once every worker has claimed one point
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		// The in-flight points finish, but the queue must stop: far
+		// fewer than n points may have been dispatched.
+		if d := dispatched.Load(); d >= n {
+			t.Fatalf("workers=%d: all %d points dispatched despite cancellation", w, d)
+		}
+	}
+}
+
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	withWorkers(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 16, func(i int) (int, error) { ran.Add(1); return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.HasPrefix(err.Error(), "run 0:") {
+		t.Fatalf("err = %v, want the lowest undispatched index (0)", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d points ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestEachCtx(t *testing.T) {
+	withWorkers(t, 2)
+	var sum atomic.Int64
+	if err := EachCtx(context.Background(), 10, func(i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
 	}
 }
 

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spp1000/internal/experiments"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (JSON body, see submitRequest)
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/result rendered result (202 while pending)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics             plaintext gauges and counters
+//	GET    /healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body. Options may be omitted:
+// jobs then run at paper scale (experiments.Defaults), or reduced scale
+// when quick is set.
+type submitRequest struct {
+	// Experiments is a list of ids, or a single element such as "all" /
+	// "extra" / "everything" which is expanded like sppbench -exp.
+	Experiments []string             `json:"experiments"`
+	Options     *experiments.Options `json:"options,omitempty"`
+	Quick       bool                 `json:"quick,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := specFromRequest(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// 202 while work is (or may be) pending; 200 when answered by a
+	// finished job.
+	code := http.StatusAccepted
+	if Status(v.Status).Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, v)
+}
+
+// specFromRequest expands aliases, applies option defaults, and
+// normalizes — the one place wire input becomes a canonical Spec.
+func specFromRequest(req submitRequest) (experiments.Spec, error) {
+	names := req.Experiments
+	if len(names) == 1 {
+		switch names[0] {
+		case "all", "extra", "everything":
+			expanded, err := experiments.ResolveNames(names[0])
+			if err != nil {
+				return experiments.Spec{}, err
+			}
+			names = expanded
+		}
+	}
+	opts := experiments.Defaults()
+	if req.Quick {
+		opts = experiments.Quick()
+	}
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	return experiments.Spec{Experiments: names, Options: opts}.Normalize()
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, v, err := s.Result(r.PathValue("id"))
+	if errors.Is(err, ErrNotFound) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		// Not done yet (202 so pollers just retry) or terminally
+		// unsuccessful (conflict: there will never be a result).
+		code := http.StatusAccepted
+		if Status(v.Status).Terminal() {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, v)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Sppd-Cached", fmt.Sprintf("%t", v.Cached))
+	fmt.Fprint(w, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Cancel(r.PathValue("id"))
+	if errors.Is(err, ErrNotFound) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusConflict, v)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,451 @@
+// Package service is sppd's core: it turns the deterministic experiment
+// engine into a long-running simulation-as-a-service daemon. Jobs are
+// submitted over HTTP, content-addressed by the canonical hash of their
+// full configuration (experiments.Spec.Key), queued onto a bounded queue,
+// and executed by a small worker pool that dispatches sweep points
+// through internal/runner. Because every job is a pure function of its
+// spec, identical submissions are served from the result cache or
+// coalesced onto the one in-flight run — the service's hot path is a
+// hash lookup, not a simulation.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spp1000/internal/experiments"
+	"spp1000/internal/resultcache"
+)
+
+// RunFunc executes one normalized spec and returns its rendered result.
+// It must honor ctx cancellation by stopping the dispatch of further
+// work. The default (DefaultRun) renders the named experiments exactly
+// as `sppbench -exp` does; tests substitute counters and stubs.
+type RunFunc func(ctx context.Context, spec experiments.Spec) (string, error)
+
+// DefaultRun renders spec's experiments with the sppbench banner
+// format, dispatching through the host worker pool.
+func DefaultRun(ctx context.Context, spec experiments.Spec) (string, error) {
+	outs, err := experiments.RunManyCtx(ctx, spec.Experiments, spec.Options)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, name := range spec.Experiments {
+		fmt.Fprintf(&b, "=== %s ===\n%s\n", name, outs[i])
+	}
+	return b.String(), nil
+}
+
+// Config sizes the daemon.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected with 503 rather than queued without bound.
+	// Default 64.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently. Each job
+	// already fans its sweep points across the host cores, so the
+	// default is 1; raising it trades per-job latency for throughput
+	// when jobs are small.
+	Workers int
+	// CacheCapacity bounds the completed results kept for reuse
+	// (oldest-first eviction). 0 means unbounded. Default 256.
+	CacheCapacity int
+	// MaxJobs bounds the job table; the oldest finished jobs are pruned
+	// beyond it (their results stay in the cache until evicted there).
+	// Default 1024.
+	MaxJobs int
+	// Run executes a job. Default DefaultRun.
+	Run RunFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Run == nil {
+		c.Run = DefaultRun
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// job is the server-side record of one submission. The job id IS the
+// spec's content address, so "the same job" and "the same configuration"
+// are one notion.
+type job struct {
+	id   string
+	spec experiments.Spec
+
+	// guarded by Server.mu
+	status    Status
+	cached    bool // result served from cache, no simulation run
+	result    string
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Server owns the job table, the bounded queue, and the worker pool.
+// Create with New; it is ready (workers running) on return.
+type Server struct {
+	cfg   Config
+	cache *resultcache.Cache
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for list + pruning
+	queue    chan *job
+	draining bool
+
+	wg sync.WaitGroup // worker goroutines
+
+	started     time.Time
+	startCycles int64
+
+	// cumulative counters (atomics: read by /metrics without the lock)
+	submitted atomic.Int64 // accepted submissions (incl. deduped)
+	deduped   atomic.Int64 // submissions answered by an existing job
+	done      atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	queuedN   atomic.Int64 // gauge
+	runningN  atomic.Int64 // gauge
+	busyNanos atomic.Int64 // summed wall time of job executions
+}
+
+// New starts a server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		cache:       resultcache.New(cfg.CacheCapacity),
+		jobs:        make(map[string]*job),
+		queue:       make(chan *job, cfg.QueueDepth),
+		started:     time.Now(),
+		startCycles: simCycles(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 503.
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrDraining is returned by Submit during shutdown.
+var ErrDraining = errors.New("server is draining")
+
+// Submit registers (or re-joins) the job for spec and returns its
+// snapshot. The spec must already be normalized. Outcomes:
+//
+//   - no prior state: the job is enqueued (ErrQueueFull if the bounded
+//     queue is at capacity).
+//   - an identical job is queued, running, or done: that job is
+//     returned as-is — concurrent duplicates coalesce onto one run and
+//     repeats of a finished job see its result with no new simulation.
+//   - the identical job failed or was canceled: it is re-armed and
+//     enqueued again (deterministic simulations don't fail flakily, but
+//     cancellation is routine).
+//   - the result is in the cache with no live job (the job table was
+//     pruned): a completed job record is synthesized from the cache.
+func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
+	key := spec.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
+	s.submitted.Add(1)
+
+	if j, ok := s.jobs[key]; ok {
+		if !j.status.Terminal() || j.status == StatusDone {
+			s.deduped.Add(1)
+			v := s.viewLocked(j)
+			if j.status == StatusDone {
+				// This submission was answered without a new run.
+				v.Cached = true
+			}
+			return v, nil
+		}
+		// failed or canceled: re-arm the same record and run again.
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+		j.status = StatusQueued
+		j.cached = false
+		j.errMsg = ""
+		j.result = ""
+		j.submitted = time.Now()
+		j.started, j.finished = time.Time{}, time.Time{}
+		select {
+		case s.queue <- j:
+			s.queuedN.Add(1)
+			return s.viewLocked(j), nil
+		default:
+			j.status = StatusCanceled
+			j.errMsg = ErrQueueFull.Error()
+			return JobView{}, ErrQueueFull
+		}
+	}
+
+	j := &job{id: key, spec: spec, submitted: time.Now()}
+	if res, ok := s.cache.Get(key); ok {
+		// Result known from an earlier (since-pruned) job: serve it
+		// without queueing anything.
+		j.status = StatusDone
+		j.cached = true
+		j.result = res
+		j.finished = j.submitted
+		s.insertLocked(j)
+		s.done.Add(1)
+		return s.viewLocked(j), nil
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.status = StatusQueued
+	select {
+	case s.queue <- j:
+	default:
+		return JobView{}, ErrQueueFull
+	}
+	s.queuedN.Add(1)
+	s.insertLocked(j)
+	return s.viewLocked(j), nil
+}
+
+// insertLocked records j and prunes the oldest finished jobs beyond
+// MaxJobs. Callers hold s.mu.
+func (s *Server) insertLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		old := s.jobs[id]
+		if excess > 0 && old != nil && old.status.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// worker drains the queue until it is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.queuedN.Add(-1)
+	s.mu.Lock()
+	if j.status != StatusQueued { // canceled while waiting; already tallied
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	s.runningN.Add(1)
+
+	res, outcome, err := s.cache.Do(j.ctx, j.id, func() (string, error) {
+		return s.cfg.Run(j.ctx, j.spec)
+	})
+
+	s.runningN.Add(-1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	s.busyNanos.Add(int64(j.finished.Sub(j.started)))
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = res
+		j.cached = outcome == resultcache.Hit
+		s.done.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+		s.canceled.Add(1)
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.failed.Add(1)
+	}
+}
+
+// Cancel requests cancellation of the job. A queued job is withdrawn
+// (the worker skips it on dequeue); a running job has its context
+// cancelled, which stops the dispatch of further sweep points — the
+// sweep points already simulating finish, then the job reports
+// canceled. Cancelling a terminal job is an error.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	if j.status.Terminal() {
+		return s.viewLocked(j), fmt.Errorf("job already %s", j.status)
+	}
+	if j.status == StatusQueued {
+		j.status = StatusCanceled
+		j.finished = time.Now()
+		j.errMsg = "canceled while queued"
+		s.canceled.Add(1)
+	}
+	j.cancel()
+	return s.viewLocked(j), nil
+}
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("no such job")
+
+// Job returns a snapshot of the job.
+func (s *Server) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return s.viewLocked(j), nil
+}
+
+// Jobs returns snapshots of every known job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, s.viewLocked(j))
+		}
+	}
+	return out
+}
+
+// Result returns the rendered result of a done job.
+func (s *Server) Result(id string) (string, JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", JobView{}, ErrNotFound
+	}
+	v := s.viewLocked(j)
+	if j.status != StatusDone {
+		return "", v, fmt.Errorf("job is %s", j.status)
+	}
+	return j.result, v, nil
+}
+
+// Shutdown drains the daemon: new submissions are refused immediately,
+// queued and running jobs are allowed to finish. If ctx expires first,
+// every remaining job's context is cancelled (stopping sweep-point
+// dispatch) and Shutdown waits for the workers to observe it, then
+// returns ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // safe: submissions check draining under mu
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if !j.status.Terminal() && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID          string   `json:"id"`
+	Experiments []string `json:"experiments"`
+	Status      string   `json:"status"`
+	// Cached is true when the result came from the content-addressed
+	// cache rather than a fresh simulation.
+	Cached      bool   `json:"cached"`
+	Error       string `json:"error,omitempty"`
+	SubmittedAt string `json:"submittedAt,omitempty"`
+	StartedAt   string `json:"startedAt,omitempty"`
+	FinishedAt  string `json:"finishedAt,omitempty"`
+}
+
+func (s *Server) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:          j.id,
+		Experiments: append([]string{}, j.spec.Experiments...),
+		Status:      string(j.status),
+		Cached:      j.cached,
+		Error:       j.errMsg,
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	v.SubmittedAt = stamp(j.submitted)
+	v.StartedAt = stamp(j.started)
+	v.FinishedAt = stamp(j.finished)
+	return v
+}

@@ -2,7 +2,18 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 )
+
+// totalCycles accumulates the virtual cycles advanced by every kernel in
+// the process, folded in once per Run/RunUntil return (never on the
+// per-event hot path). It feeds throughput gauges such as sppd's
+// simulated-cycles-per-wall-second metric.
+var totalCycles atomic.Int64
+
+// TotalCycles reports the simulated cycles executed by all kernels in
+// this process so far. Monotonic; safe for concurrent use.
+func TotalCycles() int64 { return totalCycles.Load() }
 
 // event is a callback scheduled at a virtual time. Events with equal
 // timestamps fire in the order they were scheduled (seq breaks ties),
@@ -97,6 +108,8 @@ type Kernel struct {
 	live    int // Procs spawned and not yet finished
 	blocked int // Procs parked on a waiter queue (not a timed event)
 
+	accounted Time // cycles already folded into totalCycles
+
 	deadlock func() string // optional extra diagnostics on deadlock
 }
 
@@ -150,6 +163,7 @@ func (k *Kernel) Run() error {
 			e.fn()
 		}
 	}
+	k.account()
 	if k.live > 0 {
 		msg := fmt.Sprintf("sim: deadlock: %d procs alive, no events pending at %v", k.live, k.now)
 		if k.deadlock != nil {
@@ -175,7 +189,18 @@ func (k *Kernel) RunUntil(t Time) error {
 	if k.now < t {
 		k.now = t
 	}
+	k.account()
 	return nil
+}
+
+// account folds the cycles advanced since the last accounting into the
+// process-wide total. Repeated Run/RunUntil calls on one kernel never
+// double-count.
+func (k *Kernel) account() {
+	if d := k.now - k.accounted; d > 0 {
+		k.accounted = k.now
+		totalCycles.Add(int64(d))
+	}
 }
 
 // resumeProc transfers control to p until it parks or exits.

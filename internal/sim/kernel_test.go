@@ -392,3 +392,32 @@ func TestProcIsolationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTotalCyclesAccounting: the process-wide cycle counter advances by
+// exactly the virtual time a kernel covers, and repeated Run/RunUntil
+// calls on one kernel never double-count.
+func TestTotalCyclesAccounting(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {})
+	k.At(250, func() {})
+	before := TotalCycles()
+	if err := k.RunUntil(120); err != nil {
+		t.Fatal(err)
+	}
+	if d := TotalCycles() - before; d != 120 {
+		t.Fatalf("after RunUntil(120): accounted %d cycles, want 120", d)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := TotalCycles() - before; d != 250 {
+		t.Fatalf("after Run: accounted %d cycles, want 250 total", d)
+	}
+	// Running again with nothing scheduled adds nothing.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := TotalCycles() - before; d != 250 {
+		t.Fatalf("idle Run changed the account to %d", d)
+	}
+}
