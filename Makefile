@@ -3,15 +3,21 @@
 GO ?= go
 
 # PR-numbered benchmark artifact (bump per PR to track the trajectory).
-BENCH_JSON ?= BENCH_1.json
+BENCH_JSON ?= BENCH_3.json
 
-.PHONY: all verify build test race bench vet cover reproduce quick serve examples clean
+.PHONY: all verify build test race bench vet doc cover reproduce quick serve examples clean
 
 all: build vet test race
 
-# Tier-1 verification chain: compile, static checks, tests, race tests.
+# Tier-1 verification chain: compile, static checks, doc coverage,
+# tests, race tests.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) test ./... && $(GO) test -race ./...
+
+# Fail on undocumented exported symbols of the core packages
+# (internal/sim, internal/trace, internal/runner, internal/counters).
+doc:
+	$(GO) run ./cmd/doccheck
 
 build:
 	$(GO) build ./...
@@ -31,7 +37,7 @@ race:
 # microbenchmarks in internal/sim. The parsed ns/op + allocs/op land in
 # $(BENCH_JSON) so the perf trajectory is tracked across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE . ./internal/sim | tee bench.txt
+	$(GO) test -bench=. -benchmem -run=NONE . ./internal/sim ./internal/counters ./internal/memsys | tee bench.txt
 	$(GO) run ./cmd/benchjson < bench.txt > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 

@@ -8,6 +8,7 @@
 //	sppbench -exp fig6,tab2      # a subset
 //	sppbench -quick              # reduced problem sizes (CI-friendly)
 //	sppbench -par 1              # serial (default: all host cores)
+//	sppbench -exp all -counters  # append per-component PMU counter tables
 //
 // Every sweep point is an independent deterministic simulation, so the
 // experiments fan out across host cores through internal/runner; the
@@ -20,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"spp1000/internal/counters"
 	"spp1000/internal/experiments"
 	"spp1000/internal/runner"
 )
@@ -29,6 +31,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "emit the paper artifacts as structured JSON instead of text")
 	par := flag.Int("par", 0, "host workers for independent simulations (0 = all cores, 1 = serial)")
+	withCounters := flag.Bool("counters", false, "append a per-component PMU counter breakdown to every experiment")
 	flag.Parse()
 
 	if *par < 0 {
@@ -64,6 +67,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sppbench: %v\n", err)
 		os.Exit(2)
+	}
+	if *withCounters {
+		// Attribute counters per experiment: run the experiments one at
+		// a time, each with its own collector sink. Every machine built
+		// while the sink is attached enables its counters and publishes
+		// when its run completes; the merge is commutative, so the table
+		// is byte-identical for any -par (sweep points inside each
+		// experiment still fan out across the pool).
+		for _, name := range names {
+			col := counters.NewCollector()
+			counters.Attach(col)
+			out, err := experiments.Run(name, opts)
+			counters.Detach(col)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sppbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== %s ===\n%s\n", name, out)
+			fmt.Print(col.Snapshot().Render(fmt.Sprintf("PMU counters: %s", name)))
+			fmt.Println()
+		}
+		return
 	}
 	outs, err := experiments.RunMany(names, opts)
 	if err != nil {

@@ -7,12 +7,17 @@
 //
 //	sppprof -threads 16 -phases 4 -imbalance 0.5 -remote
 //	sppprof -threads 8 -width 120
+//	sppprof -counters                 # append the PMU counter breakdown
+//	sppprof -chrome trace.json        # Chrome trace-event export
+//	sppprof -chrome - > trace.json    # ... to stdout (suppresses text)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"spp1000/internal/cxpa"
 	"spp1000/internal/machine"
@@ -28,6 +33,8 @@ func main() {
 	remote := flag.Bool("remote", true, "walk a shared table hosted on hypernode 0")
 	width := flag.Int("width", 96, "timeline width in characters")
 	uniform := flag.Bool("uniform", false, "uniform thread placement instead of high locality")
+	withCounters := flag.Bool("counters", false, "append the machine's PMU counter breakdown")
+	chrome := flag.String("chrome", "", "write the timeline as Chrome trace-event JSON to this file (- for stdout); counters ride along in otherData")
 	flag.Parse()
 
 	hn := (*nThreads + topology.CPUsPerNode - 1) / topology.CPUsPerNode
@@ -42,6 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	m.Trace = trace.New()
+	reg := m.EnableCounters()
 	table := m.Alloc("table", topology.NearShared, 0, 0)
 
 	place := threads.HighLocality
@@ -66,9 +74,35 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *chrome != "" {
+		// The machine's counters travel in otherData, so the exported
+		// file is self-describing alongside the timeline.
+		other := map[string]string{}
+		for k, v := range reg.Snapshot().Flatten() {
+			other[k] = strconv.FormatInt(v, 10)
+		}
+		data, err := m.Trace.ChromeTrace(other)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *chrome == "-" {
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		if err := os.WriteFile(*chrome, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (load in chrome://tracing or Perfetto)\n", *chrome)
+	}
+
 	title := fmt.Sprintf("CXpa profile: %d threads (%v), %d phases, imbalance %.2f",
 		*nThreads, place, *phases, *imbalance)
 	fmt.Print(cxpa.Render(title, m, cxpa.Snapshot(ths)))
 	fmt.Println()
 	fmt.Print(m.Trace.Render("Execution timeline", *width))
+	if *withCounters {
+		fmt.Println()
+		fmt.Print(reg.Snapshot().Render("PMU counters"))
+	}
 }

@@ -4,7 +4,10 @@
 // what makes whole-program simulation tractable.
 package cache
 
-import "spp1000/internal/topology"
+import (
+	"spp1000/internal/counters"
+	"spp1000/internal/topology"
+)
 
 // state of one cache slot.
 type slot struct {
@@ -22,10 +25,36 @@ type Stats struct {
 	Invalidations int64
 }
 
+// hooks are the optional PMU-style counter handles. All nil (free
+// no-ops) until AttachCounters; they mirror the Stats fields so either
+// instrumentation view can be read.
+type hooks struct {
+	hits          *counters.Counter
+	misses        *counters.Counter
+	evictions     *counters.Counter
+	writebacks    *counters.Counter
+	invalidations *counters.Counter
+}
+
 // Cache is one processor's data cache.
 type Cache struct {
 	slots []slot
 	Stats Stats
+	ctr   hooks
+}
+
+// AttachCounters mirrors this cache's event stream into the group's
+// counters (hits, misses, evictions, writebacks, invalidations).
+// Several caches may share one group — their counts aggregate. A nil
+// group detaches (handles become free no-ops again).
+func (c *Cache) AttachCounters(g *counters.Group) {
+	c.ctr = hooks{
+		hits:          g.Counter("hits"),
+		misses:        g.Counter("misses"),
+		evictions:     g.Counter("evictions"),
+		writebacks:    g.Counter("writebacks"),
+		invalidations: g.Counter("invalidations"),
+	}
 }
 
 // New returns an empty cache with the architectural geometry.
@@ -63,19 +92,23 @@ func (c *Cache) Access(key topology.LineKey, write bool) Result {
 	s := &c.slots[c.index(key)]
 	if s.valid && s.key == key {
 		c.Stats.Hits++
+		c.ctr.hits.Inc()
 		if write {
 			s.dirty = true
 		}
 		return Result{Hit: true}
 	}
 	c.Stats.Misses++
+	c.ctr.misses.Inc()
 	res := Result{}
 	if s.valid {
 		c.Stats.Evictions++
+		c.ctr.evictions.Inc()
 		res.HadEviction = true
 		res.Evicted = s.key
 		if s.dirty {
 			c.Stats.Writebacks++
+			c.ctr.writebacks.Inc()
 			res.WritebackNeeded = true
 		}
 	}
@@ -103,6 +136,7 @@ func (c *Cache) Invalidate(key topology.LineKey) (present, dirty bool) {
 	s := &c.slots[c.index(key)]
 	if s.valid && s.key == key {
 		c.Stats.Invalidations++
+		c.ctr.invalidations.Inc()
 		present, dirty = true, s.dirty
 		s.valid = false
 		s.dirty = false
@@ -123,6 +157,7 @@ func (c *Cache) Flush() {
 	for i := range c.slots {
 		if c.slots[i].valid && c.slots[i].dirty {
 			c.Stats.Writebacks++
+			c.ctr.writebacks.Inc()
 		}
 		c.slots[i] = slot{}
 	}

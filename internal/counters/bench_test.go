@@ -1,0 +1,40 @@
+package counters
+
+import "testing"
+
+// The counters-off cost is the price every simulated event pays once the
+// components carry counter handles: a nil check. BENCH_3.json records it
+// next to the enabled cost so the disabled-path regression bound (0
+// allocs, ≤2% ns/event) stays visible across PRs.
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncEnabled(b *testing.B) {
+	c := NewRegistry().Group("g").Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 255))
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := NewRegistry().Group("g").Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 255))
+	}
+}

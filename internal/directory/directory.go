@@ -8,6 +8,7 @@ package directory
 import (
 	"fmt"
 
+	"spp1000/internal/counters"
 	"spp1000/internal/topology"
 )
 
@@ -24,11 +25,37 @@ type Stats struct {
 	Interventions int64 // dirty-owner fetches
 }
 
+// hooks are the optional PMU-style counter handles, nil (free no-ops)
+// until AttachCounters.
+type hooks struct {
+	lookups       *counters.Counter
+	invalidations *counters.Counter
+	interventions *counters.Counter
+	purges        *counters.Counter
+	invalFanout   *counters.Histogram
+}
+
 // Directory tracks every line cached within one hypernode.
 type Directory struct {
 	hypernode int
 	entries   map[topology.LineKey]entry
 	Stats     Stats
+	ctr       hooks
+}
+
+// AttachCounters mirrors this directory's actions into the group:
+// lookups, invalidations (copies killed), interventions (dirty-owner
+// fetches), purges (whole-line SCI kills), and the inval_fanout
+// histogram of copies killed per coherence action (only actions that
+// killed at least one copy are observed). A nil group detaches.
+func (d *Directory) AttachCounters(g *counters.Group) {
+	d.ctr = hooks{
+		lookups:       g.Counter("lookups"),
+		invalidations: g.Counter("invalidations"),
+		interventions: g.Counter("interventions"),
+		purges:        g.Counter("purges"),
+		invalFanout:   g.Histogram("inval_fanout"),
+	}
 }
 
 // New returns an empty directory for the given hypernode.
@@ -84,6 +111,7 @@ type ReadActions struct {
 // coherence work a read miss triggers.
 func (d *Directory) RecordRead(key topology.LineKey, cpu topology.CPUID) ReadActions {
 	d.Stats.Lookups++
+	d.ctr.lookups.Inc()
 	idx := d.localIndex(cpu)
 	e, ok := d.entries[key]
 	if !ok {
@@ -96,6 +124,7 @@ func (d *Directory) RecordRead(key topology.LineKey, cpu topology.CPUID) ReadAct
 		acts.DirtyOwner = topology.MakeCPU(d.hypernode, o/topology.CPUsPerFU, o%topology.CPUsPerFU)
 		acts.HasDirtyOwner = true
 		d.Stats.Interventions++
+		d.ctr.interventions.Inc()
 		e.owner = -1
 	}
 	e.presence |= 1 << idx
@@ -116,6 +145,7 @@ type WriteActions struct {
 // that had to be invalidated.
 func (d *Directory) RecordWrite(key topology.LineKey, cpu topology.CPUID) WriteActions {
 	d.Stats.Lookups++
+	d.ctr.lookups.Inc()
 	idx := d.localIndex(cpu)
 	e, ok := d.entries[key]
 	if !ok {
@@ -127,6 +157,7 @@ func (d *Directory) RecordWrite(key topology.LineKey, cpu topology.CPUID) WriteA
 		acts.PreviousOwner = topology.MakeCPU(d.hypernode, o/topology.CPUsPerFU, o%topology.CPUsPerFU)
 		acts.HasPreviousOwner = true
 		d.Stats.Interventions++
+		d.ctr.interventions.Inc()
 	}
 	for i := 0; i < topology.CPUsPerNode; i++ {
 		if i == idx {
@@ -137,6 +168,10 @@ func (d *Directory) RecordWrite(key topology.LineKey, cpu topology.CPUID) WriteA
 				topology.MakeCPU(d.hypernode, i/topology.CPUsPerFU, i%topology.CPUsPerFU))
 			d.Stats.Invalidations++
 		}
+	}
+	if n := len(acts.InvalidateLocal); n > 0 {
+		d.ctr.invalidations.Add(int64(n))
+		d.ctr.invalFanout.Observe(int64(n))
 	}
 	e.presence = 1 << idx
 	e.owner = int8(idx)
@@ -167,6 +202,11 @@ func (d *Directory) DropCPU(key topology.LineKey, cpu topology.CPUID) {
 func (d *Directory) PurgeLine(key topology.LineKey) []topology.CPUID {
 	sharers := d.Sharers(key)
 	d.Stats.Invalidations += int64(len(sharers))
+	d.ctr.purges.Inc()
+	if n := len(sharers); n > 0 {
+		d.ctr.invalidations.Add(int64(n))
+		d.ctr.invalFanout.Observe(int64(n))
+	}
 	delete(d.entries, key)
 	return sharers
 }

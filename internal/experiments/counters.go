@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spp1000/internal/counters"
+	"spp1000/internal/machine"
+	"spp1000/internal/sim"
+	"spp1000/internal/stats"
+	"spp1000/internal/threads"
+	"spp1000/internal/topology"
+)
+
+// CounterDerived holds machine-level ratios re-derived purely from the
+// PMU counter subsystem — no access to simulator internals, timings, or
+// Stats; only what `sppbench -counters` would expose. Each field maps to
+// a §4 calibration point of the paper, so agreement here demonstrates
+// that the counters alone carry enough signal to reproduce the
+// evaluation's headline numbers.
+type CounterDerived struct {
+	// LocalMissCycles / GlobalMissCycles are the mean per-class miss
+	// latencies (mem.*_miss_cycles / mem.*_misses); GlobalLocalRatio is
+	// their quotient — the paper's §6 "global memory latency is about
+	// eight times" claim (calibrated tables give ≈7.2).
+	LocalMissCycles  float64
+	GlobalMissCycles float64
+	GlobalLocalRatio float64
+
+	// Barrier release on a 16-thread, 2-hypernode team (§4.2): the
+	// releasing write must reach the n-1 = 15 spinning copies — 7 by
+	// local directory invalidation, 8 by the SCI purge of the remote
+	// hypernode's buffered copy.
+	BarrierInvalidations int64
+	// Longest SCI purge walk: sharing is tracked per hypernode, so one
+	// remote hypernode means a walk of length 1 no matter how many of
+	// its CPUs spin.
+	BarrierPurgeWalkMax int64
+	// The 8 remote spinners share one global-buffer copy: one attach.
+	BarrierAttaches int64
+
+	// Global cache buffer (§2.5): two CPUs of a remote hypernode read
+	// the same line; only the first crosses a ring.
+	BufferGlobalMisses    int64
+	BufferHypernodeMisses int64
+	BufferAttaches        int64
+	BufferRingPackets     int64
+
+	// Fork-join runtime events for a 9-thread HighLocality team — the
+	// Fig. 2 knee where the team first spills onto a second hypernode.
+	SpawnLocal   int64
+	SpawnRemote  int64
+	RuntimeInits int64
+}
+
+// missLadder measures per-class miss latency from counters: a CPU on
+// the hosting hypernode streams cold lines (local / crossbar misses),
+// then a CPU on the other hypernode streams a disjoint set (global
+// misses). The second thread is released only after the first finishes
+// so neither class's mean is polluted by contention.
+func missLadder() (counters.Snapshot, error) {
+	m, err := machine.New(machine.Config{Hypernodes: 2, CacheLines: 4096})
+	if err != nil {
+		return counters.Snapshot{}, err
+	}
+	reg := m.EnableCounters()
+	sp := m.Alloc("ladder", topology.NearShared, 0, 0)
+	const lines = 256
+	seq := m.K.NewSemaphore("seq", 0)
+	m.Spawn("near", topology.MakeCPU(0, 0, 0), func(th *machine.Thread) {
+		for i := 0; i < lines; i++ {
+			th.Read(sp, topology.Addr(i*topology.CacheLineBytes))
+		}
+		seq.V()
+	})
+	m.Spawn("far", topology.MakeCPU(1, 0, 0), func(th *machine.Thread) {
+		seq.P(th.P)
+		for i := lines; i < 2*lines; i++ {
+			th.Read(sp, topology.Addr(i*topology.CacheLineBytes))
+		}
+	})
+	if err := m.Run(); err != nil {
+		return counters.Snapshot{}, err
+	}
+	return reg.Snapshot(), nil
+}
+
+// barrierEpisode runs one 16-thread barrier on two hypernodes, staggered
+// so the last arrival — the releasing writer — sits on the flag's home
+// hypernode, reproducing the §4.2 release fan-out.
+func barrierEpisode() (counters.Snapshot, error) {
+	m, err := machine.New(machine.Config{Hypernodes: 2})
+	if err != nil {
+		return counters.Snapshot{}, err
+	}
+	reg := m.EnableCounters()
+	const n = 16
+	bar := threads.NewBarrier(m, n, 0)
+	_, err = threads.RunTeam(m, n, threads.HighLocality, func(th *machine.Thread, tid int) {
+		// Reverse stagger: thread 0 (hypernode 0, where the flag lives)
+		// arrives last and performs the releasing write. The step must
+		// dwarf the serialized fork dispatch (~20k cycles across 16
+		// spawns) or the arrival order is the spawn order instead.
+		th.Delay(sim.Time((n - 1 - tid) * 25000))
+		bar.Wait(th)
+	})
+	if err != nil {
+		return counters.Snapshot{}, err
+	}
+	return reg.Snapshot(), nil
+}
+
+// globalBuffer exercises §2.5's node-level cache of remote lines: two
+// CPUs of hypernode 1 read the same hypernode-0 line back to back.
+func globalBuffer() (counters.Snapshot, error) {
+	m, err := machine.New(machine.Config{Hypernodes: 2})
+	if err != nil {
+		return counters.Snapshot{}, err
+	}
+	reg := m.EnableCounters()
+	sp := m.Alloc("line", topology.NearShared, 0, 0)
+	seq := m.K.NewSemaphore("seq", 0)
+	m.Spawn("first", topology.MakeCPU(1, 0, 0), func(th *machine.Thread) {
+		th.Read(sp, 0)
+		seq.V()
+	})
+	// The buffered copy lives in the FU of the line's home ring (FU 0),
+	// so a second reader on FU 1 pays exactly one crossbar traversal.
+	m.Spawn("second", topology.MakeCPU(1, 1, 0), func(th *machine.Thread) {
+		seq.P(th.P)
+		th.Read(sp, 0)
+	})
+	if err := m.Run(); err != nil {
+		return counters.Snapshot{}, err
+	}
+	return reg.Snapshot(), nil
+}
+
+// forkBoundary forks the first team size that spans two hypernodes.
+func forkBoundary() (counters.Snapshot, error) {
+	m, err := machine.New(machine.Config{Hypernodes: 2})
+	if err != nil {
+		return counters.Snapshot{}, err
+	}
+	reg := m.EnableCounters()
+	_, err = threads.RunTeam(m, topology.CPUsPerNode+1, threads.HighLocality,
+		func(th *machine.Thread, tid int) {})
+	if err != nil {
+		return counters.Snapshot{}, err
+	}
+	return reg.Snapshot(), nil
+}
+
+// DeriveCounterRatios runs the four probe workloads and reduces their
+// counter snapshots to the paper-comparable figures. It is deterministic
+// and independent of the host worker pool: every probe is a fresh
+// single-machine simulation read through its own registry.
+func DeriveCounterRatios() (CounterDerived, error) {
+	var d CounterDerived
+
+	s, err := missLadder()
+	if err != nil {
+		return d, err
+	}
+	lm := s.Counter("mem", "local_misses")
+	gm := s.Counter("mem", "global_misses")
+	if lm == 0 || gm == 0 {
+		return d, fmt.Errorf("miss ladder produced no misses (local %d, global %d)", lm, gm)
+	}
+	d.LocalMissCycles = float64(s.Counter("mem", "local_miss_cycles")) / float64(lm)
+	d.GlobalMissCycles = float64(s.Counter("mem", "global_miss_cycles")) / float64(gm)
+	d.GlobalLocalRatio = d.GlobalMissCycles / d.LocalMissCycles
+
+	if s, err = barrierEpisode(); err != nil {
+		return d, err
+	}
+	d.BarrierInvalidations = s.GroupTotal("directory", "invalidations")
+	if h, ok := s.Histogram("sci", "purge_walk"); ok {
+		d.BarrierPurgeWalkMax = h.Max
+	}
+	d.BarrierAttaches = s.Counter("sci", "attaches")
+
+	if s, err = globalBuffer(); err != nil {
+		return d, err
+	}
+	d.BufferGlobalMisses = s.Counter("mem", "global_misses")
+	d.BufferHypernodeMisses = s.Counter("mem", "hypernode_misses")
+	d.BufferAttaches = s.Counter("sci", "attaches")
+	for i := 0; i < topology.NumRings; i++ {
+		d.BufferRingPackets += s.Counter("ring", fmt.Sprintf("r%d.packets", i))
+	}
+
+	if s, err = forkBoundary(); err != nil {
+		return d, err
+	}
+	d.SpawnLocal = s.Counter("threads", "spawn_local")
+	d.SpawnRemote = s.Counter("threads", "spawn_remote")
+	d.RuntimeInits = s.Counter("threads", "runtime_inits")
+	return d, nil
+}
+
+// CountersReport renders the counter-derived figures against the
+// paper's calibration — the `counters` experiment of sppbench.
+func CountersReport(o Options) (string, error) {
+	d, err := DeriveCounterRatios()
+	if err != nil {
+		return "", err
+	}
+	tb := stats.NewTable("Counter-derived calibration checks (PMU counters only)",
+		"quantity", "derived", "expected", "source")
+	tb.AddRow("local miss latency (cycles)", fmt.Sprintf("%.1f", d.LocalMissCycles), "~60", "§4.1 calibration")
+	tb.AddRow("global miss latency (cycles)", fmt.Sprintf("%.1f", d.GlobalMissCycles), "~432", "§4.1 calibration")
+	tb.AddRow("global/local miss ratio", fmt.Sprintf("%.2f", d.GlobalLocalRatio), "~8", "§6 (\"about eight times\")")
+	tb.AddRow("barrier release invalidations (16 thr)", d.BarrierInvalidations, 15, "§4.2 (n-1 spinners)")
+	tb.AddRow("barrier SCI purge-walk max", d.BarrierPurgeWalkMax, 1, "§2.5 (per-hypernode sharing)")
+	tb.AddRow("barrier SCI attaches", d.BarrierAttaches, 1, "§2.5 (one buffered copy)")
+	tb.AddRow("global-buffer ring crossings (2 readers)", d.BufferGlobalMisses, 1, "§2.5 (second read hits buffer)")
+	tb.AddRow("global-buffer crossbar hits", d.BufferHypernodeMisses, 1, "§2.5")
+	tb.AddRow("9-thread fork: local spawns", d.SpawnLocal, topology.CPUsPerNode, "Fig. 2 knee")
+	tb.AddRow("9-thread fork: remote spawns", d.SpawnRemote, 1, "Fig. 2 knee")
+	tb.AddRow("9-thread fork: runtime inits", d.RuntimeInits, 1, "§4.1")
+	return tb.Render(), nil
+}

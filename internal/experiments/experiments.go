@@ -35,7 +35,7 @@ type Options struct {
 	// NBodySample is the per-block traversal sample for counting.
 	NBodySample int `json:"nBodySample"`
 	// AppSteps is the step count for FEM / N-body / PPM timing runs.
-	AppSteps int `json:"appSteps"`
+	AppSteps int    `json:"appSteps"`
 	Seed     uint64 `json:"seed"`
 }
 
@@ -348,7 +348,7 @@ func Classes(o Options) (string, error) {
 // studies.
 var (
 	Names = []string{"fig2", "fig3", "fig4", "tab1", "fig6", "fig7", "fig8", "tab2"}
-	Extra = []string{"ablate", "scale", "classes", "amr"}
+	Extra = []string{"ablate", "scale", "classes", "amr", "counters"}
 )
 
 // Known reports whether name is a runnable experiment id.
@@ -477,6 +477,8 @@ func RunCtx(ctx context.Context, name string, o Options) (string, error) {
 		return Classes(o)
 	case "amr":
 		return amrReport(ctx, o)
+	case "counters":
+		return CountersReport(o)
 	}
 	return "", fmt.Errorf("unknown experiment %q (have %v and %v)", name, Names, Extra)
 }

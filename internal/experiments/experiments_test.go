@@ -22,6 +22,8 @@ func TestAllExperimentsRender(t *testing.T) {
 		"scale":   {"128", "tree code"},
 		"classes": {"thread-private", "far-shared", "False sharing"},
 		"amr":     {"AMR", "leaves", "zones saved"},
+		"counters": {"Counter-derived", "global/local miss ratio",
+			"barrier release invalidations", "Fig. 2 knee"},
 	}
 	for _, name := range append(append([]string{}, Names...), Extra...) {
 		out, err := Run(name, o)

@@ -9,6 +9,7 @@ package machine
 import (
 	"fmt"
 
+	"spp1000/internal/counters"
 	"spp1000/internal/memsys"
 	"spp1000/internal/sim"
 	"spp1000/internal/topology"
@@ -35,6 +36,12 @@ type Machine struct {
 	// Trace, when non-nil, records every thread's busy / memory /
 	// synchronization intervals for timeline rendering.
 	Trace *trace.Recorder
+	// Counters, when non-nil, is the machine's PMU-style counter
+	// registry, wired through every memory-system component and the
+	// thread runtime. Nil (the default) costs one pointer check per
+	// counted event. Enable with EnableCounters; machines built while a
+	// counters.Collector is attached enable themselves.
+	Counters *counters.Registry
 }
 
 // New builds a machine.
@@ -53,7 +60,23 @@ func New(cfg Config) (*Machine, error) {
 		P:    p,
 		Mem:  memsys.New(topo, p, cfg.CacheLines),
 	}
+	if counters.Active() {
+		m.EnableCounters()
+	}
 	return m, nil
+}
+
+// EnableCounters attaches a PMU-style counter registry to the machine
+// (idempotent) and returns it. Counter totals accumulate in
+// m.Counters and are published to any attached counters.Collector
+// sinks when Run completes. Enabling counters never changes simulated
+// timings — the counters live outside virtual time.
+func (m *Machine) EnableCounters() *counters.Registry {
+	if m.Counters == nil {
+		m.Counters = counters.NewRegistry()
+		m.Mem.AttachCounters(m.Counters)
+	}
+	return m.Counters
 }
 
 // MustNew is New but panics on configuration errors (for examples/tests).
@@ -105,8 +128,13 @@ func (m *Machine) SpawnAt(t sim.Time, name string, cpu topology.CPUID, fn func(t
 	return th
 }
 
-// Run executes the simulation to completion.
-func (m *Machine) Run() error { return m.K.Run() }
+// Run executes the simulation to completion, then publishes any counter
+// deltas to the attached collector sinks.
+func (m *Machine) Run() error {
+	err := m.K.Run()
+	counters.Publish(m.Counters)
+	return err
+}
 
 // Now reports the current virtual time.
 func (m *Machine) Now() sim.Time { return m.K.Now() }

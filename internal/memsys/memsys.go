@@ -9,11 +9,13 @@ import (
 	"fmt"
 
 	"spp1000/internal/cache"
+	"spp1000/internal/counters"
 	"spp1000/internal/directory"
 	"spp1000/internal/ring"
 	"spp1000/internal/sci"
 	"spp1000/internal/sim"
 	"spp1000/internal/topology"
+	"spp1000/internal/xbar"
 )
 
 // spaceInfo is the allocation record of one memory object.
@@ -43,10 +45,11 @@ type System struct {
 	dirs   []*directory.Directory
 	SCI    *sci.Protocol
 	Rings  *ring.Network
-	xports [][]sim.Resource // crossbar FU ports, per hypernode
+	xbars  []*xbar.Crossbar // one 5-port switch per hypernode
 	banks  [][]sim.Resource // memory banks, per hypernode per FU
 	spaces []spaceInfo
 	Stats  []Counters // indexed by CPUID
+	ctr    memHooks   // optional PMU counters (see AttachCounters)
 
 	// Ablation switches (see internal/ablation): DisableGlobalBuffer
 	// makes every access to a remotely-homed line a full ring
@@ -61,6 +64,61 @@ type System struct {
 	// FIFO with an SCI rollout (list detach) per victim.
 	bufferCap  int
 	bufferFIFO [][]topology.LineKey
+}
+
+// memHooks are the machine-level PMU counter handles: access counts and
+// stall-cycle totals broken down by service class (the §2.6/§6 latency
+// ladder: cache hit, FU-local memory, crossbar, SCI ring). All nil —
+// free no-ops — until AttachCounters.
+type memHooks struct {
+	accesses            *counters.Counter
+	hits                *counters.Counter
+	upgrades            *counters.Counter
+	upgradeCycles       *counters.Counter
+	localMisses         *counters.Counter
+	localMissCycles     *counters.Counter
+	hypernodeMisses     *counters.Counter
+	hypernodeMissCycles *counters.Counter
+	globalMisses        *counters.Counter
+	globalMissCycles    *counters.Counter
+	rmws                *counters.Counter
+	rmwCycles           *counters.Counter
+}
+
+// AttachCounters wires every component of the memory system into the
+// registry, one group per component instance: cache.hn<N> (the eight
+// CPU caches of a hypernode aggregate), directory.hn<N>, xbar.hn<N>,
+// sci, ring, and the machine-level mem group with per-class miss counts
+// and stall cycles. Counters never touch virtual time, so attaching
+// them cannot change any simulated result. A nil registry detaches
+// everything.
+func (s *System) AttachCounters(r *counters.Registry) {
+	for i, c := range s.caches {
+		c.AttachCounters(r.Group(fmt.Sprintf("cache.hn%d", topology.CPUID(i).Hypernode())))
+	}
+	for hn, d := range s.dirs {
+		d.AttachCounters(r.Group(fmt.Sprintf("directory.hn%d", hn)))
+	}
+	for hn, x := range s.xbars {
+		x.AttachCounters(r.Group(fmt.Sprintf("xbar.hn%d", hn)))
+	}
+	s.SCI.AttachCounters(r.Group("sci"))
+	s.Rings.AttachCounters(r.Group("ring"))
+	g := r.Group("mem")
+	s.ctr = memHooks{
+		accesses:            g.Counter("accesses"),
+		hits:                g.Counter("hits"),
+		upgrades:            g.Counter("upgrades"),
+		upgradeCycles:       g.Counter("upgrade_cycles"),
+		localMisses:         g.Counter("local_misses"),
+		localMissCycles:     g.Counter("local_miss_cycles"),
+		hypernodeMisses:     g.Counter("hypernode_misses"),
+		hypernodeMissCycles: g.Counter("hypernode_miss_cycles"),
+		globalMisses:        g.Counter("global_misses"),
+		globalMissCycles:    g.Counter("global_miss_cycles"),
+		rmws:                g.Counter("rmws"),
+		rmwCycles:           g.Counter("rmw_cycles"),
+	}
 }
 
 // DefaultBufferLines is the default per-hypernode global-buffer
@@ -90,11 +148,11 @@ func New(topo topology.Topology, p topology.Params, cacheLines int) *System {
 		}
 	}
 	s.dirs = make([]*directory.Directory, topo.Hypernodes)
-	s.xports = make([][]sim.Resource, topo.Hypernodes)
+	s.xbars = make([]*xbar.Crossbar, topo.Hypernodes)
 	s.banks = make([][]sim.Resource, topo.Hypernodes)
 	for hn := 0; hn < topo.Hypernodes; hn++ {
 		s.dirs[hn] = directory.New(hn)
-		s.xports[hn] = make([]sim.Resource, topology.FUsPerNode)
+		s.xbars[hn] = xbar.New()
 		s.banks[hn] = make([]sim.Resource, topology.FUsPerNode)
 	}
 	s.SCI = sci.New(topo.Hypernodes)
@@ -153,6 +211,8 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 	key := topology.LineKey{Space: sp, Line: addr.Line()}
 	st := &s.Stats[cpu]
 	st.Accesses++
+	s.ctr.accesses.Inc()
+	t0 := now
 
 	c := s.caches[cpu]
 	myHN := cpu.Hypernode()
@@ -163,6 +223,7 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 	if c.Contains(key) {
 		if !write || c.Dirty(key) {
 			st.Hits++
+			s.ctr.hits.Inc()
 			c.Access(key, write)
 			return Report{Done: now + sim.Time(s.P.CacheHit), WasHit: true}
 		}
@@ -171,6 +232,9 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 		c.Access(key, true)
 		st.Hits++
 		st.StallCycles += int64(rep.Done - now)
+		s.ctr.hits.Inc()
+		s.ctr.upgrades.Inc()
+		s.ctr.upgradeCycles.Add(int64(rep.Done - now))
 		rep.WasHit = true
 		return rep
 	}
@@ -186,6 +250,11 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 		s.dropEvicted(res.Evicted, cpu)
 	}
 
+	// Snapshot the per-class tallies so the serviced class — decided
+	// deep inside the fill paths — can be recovered for the PMU
+	// latency decomposition without changing the Report shape.
+	l0, h0 := st.LocalMisses, st.HypernodeMisses
+
 	var rep Report
 	if home.Hypernode == myHN {
 		rep = s.localFill(now, cpu, key, home, write)
@@ -197,6 +266,21 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 		st.GlobalMisses++
 	}
 	st.StallCycles += int64(rep.Done - now)
+
+	// Latency from the original issue time, including any eviction
+	// writeback charged above.
+	lat := int64(rep.Done - t0)
+	switch {
+	case rep.WasGlobal:
+		s.ctr.globalMisses.Inc()
+		s.ctr.globalMissCycles.Add(lat)
+	case st.LocalMisses > l0:
+		s.ctr.localMisses.Inc()
+		s.ctr.localMissCycles.Add(lat)
+	case st.HypernodeMisses > h0:
+		s.ctr.hypernodeMisses.Inc()
+		s.ctr.hypernodeMissCycles.Add(lat)
+	}
 	return rep
 }
 
@@ -495,20 +579,11 @@ func (s *System) purgeRemote(now sim.Time, fromHN, ringIdx int, key topology.Lin
 
 // crossbar books a traversal between two FU ports of a hypernode.
 func (s *System) crossbar(now sim.Time, hn, srcFU, dstFU int, dur sim.Time) sim.Time {
-	if srcFU == dstFU {
-		return now + dur
-	}
-	start := now
-	if f := s.xports[hn][srcFU].FreeAt(); f > start {
-		start = f
-	}
-	if f := s.xports[hn][dstFU].FreeAt(); f > start {
-		start = f
-	}
-	s.xports[hn][srcFU].Reserve(start, dur)
-	s.xports[hn][dstFU].Reserve(start, dur)
-	return start + dur
+	return s.xbars[hn].Traverse(now, srcFU, dstFU, dur)
 }
+
+// Crossbar exposes one hypernode's switch (for tests and diagnostics).
+func (s *System) Crossbar(hn int) *xbar.Crossbar { return s.xbars[hn] }
 
 // UncachedRMW models an atomic read-modify-write on an uncached cell
 // (the counting semaphores of the barrier primitive, paper §4.2): it
@@ -529,6 +604,8 @@ func (s *System) UncachedRMW(now sim.Time, cpu topology.CPUID, sp topology.Space
 		t += sim.Time(s.P.RemoteDirLookup)
 	}
 	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Time(s.P.UncachedAccess))
+	s.ctr.rmws.Inc()
+	s.ctr.rmwCycles.Add(int64(bankDone - now))
 	return bankDone
 }
 

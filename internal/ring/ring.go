@@ -8,9 +8,22 @@
 package ring
 
 import (
+	"fmt"
+
+	"spp1000/internal/counters"
 	"spp1000/internal/sim"
 	"spp1000/internal/topology"
 )
+
+// hooks are the optional PMU-style per-link counter handles, inert
+// until AttachCounters.
+type hooks struct {
+	attached bool
+	packets  [topology.NumRings]*counters.Counter
+	busy     [topology.NumRings]*counters.Counter
+	queue    [topology.NumRings]*counters.Counter
+	hops     *counters.Histogram
+}
 
 // Network is the set of four rings of one machine.
 type Network struct {
@@ -18,6 +31,22 @@ type Network struct {
 	params  topology.Params
 	rings   [topology.NumRings]sim.Resource
 	packets int64
+	ctr     hooks
+}
+
+// AttachCounters mirrors ring traffic into the group, per link:
+// r<i>.packets (packets injected), r<i>.busy_cycles (link service
+// time), r<i>.queue_cycles (time packets waited behind earlier
+// traffic), plus a machine-wide hops histogram of per-packet hop
+// counts. A nil group detaches.
+func (n *Network) AttachCounters(g *counters.Group) {
+	n.ctr = hooks{attached: g != nil}
+	for i := 0; i < topology.NumRings; i++ {
+		n.ctr.packets[i] = g.Counter(fmt.Sprintf("r%d.packets", i))
+		n.ctr.busy[i] = g.Counter(fmt.Sprintf("r%d.busy_cycles", i))
+		n.ctr.queue[i] = g.Counter(fmt.Sprintf("r%d.queue_cycles", i))
+	}
+	n.ctr.hops = g.Histogram("hops")
 }
 
 // New returns an idle ring network.
@@ -46,7 +75,14 @@ func (n *Network) TransitCycles(src, dst, payloadBytes int) sim.Time {
 func (n *Network) Send(now sim.Time, ringIdx, src, dst, payloadBytes int) sim.Time {
 	transit := n.TransitCycles(src, dst, payloadBytes)
 	n.packets++
-	return n.rings[ringIdx].Reserve(now, transit)
+	done := n.rings[ringIdx].Reserve(now, transit)
+	if n.ctr.attached {
+		n.ctr.packets[ringIdx].Inc()
+		n.ctr.busy[ringIdx].Add(int64(transit))
+		n.ctr.queue[ringIdx].Add(int64(done - now - transit))
+		n.ctr.hops.Observe(int64(n.topo.RingHops(src, dst)))
+	}
+	return done
 }
 
 // RoundTrip books a request/response pair (request payloadBytes out,

@@ -16,6 +16,7 @@ package sci
 import (
 	"fmt"
 
+	"spp1000/internal/counters"
 	"spp1000/internal/topology"
 )
 
@@ -34,6 +35,16 @@ type Stats struct {
 	PurgedCopies int64 // list nodes visited by purges
 }
 
+// hooks are the optional PMU-style counter handles, nil (free no-ops)
+// until AttachCounters.
+type hooks struct {
+	attaches     *counters.Counter
+	detaches     *counters.Counter
+	purges       *counters.Counter
+	purgedCopies *counters.Counter
+	purgeWalk    *counters.Histogram
+}
+
 // Protocol is the global SCI coherence state for one machine.
 type Protocol struct {
 	nodes int
@@ -42,6 +53,22 @@ type Protocol struct {
 	// hypernode hn's global cache buffer.
 	buffers []map[topology.LineKey]bool
 	Stats   Stats
+	ctr     hooks
+}
+
+// AttachCounters mirrors the protocol actions into the group: attaches,
+// detaches, purges, purged_copies, and the purge_walk histogram of
+// sharing-list nodes visited per purge — the serialized walk length that
+// dominates the paper's cross-hypernode barrier cost. A nil group
+// detaches.
+func (p *Protocol) AttachCounters(g *counters.Group) {
+	p.ctr = hooks{
+		attaches:     g.Counter("attaches"),
+		detaches:     g.Counter("detaches"),
+		purges:       g.Counter("purges"),
+		purgedCopies: g.Counter("purged_copies"),
+		purgeWalk:    g.Histogram("purge_walk"),
+	}
 }
 
 // New returns the protocol state for a machine with n hypernodes.
@@ -96,6 +123,7 @@ func (p *Protocol) Attach(key topology.LineKey, home, hn int) int {
 	l.sharers = append([]int{hn}, l.sharers...)
 	p.buffers[hn][key] = true
 	p.Stats.Attaches++
+	p.ctr.attaches.Inc()
 	return 0
 }
 
@@ -113,6 +141,7 @@ func (p *Protocol) Detach(key topology.LineKey, hn int) bool {
 			l.sharers = append(l.sharers[:i], l.sharers[i+1:]...)
 			delete(p.buffers[hn], key)
 			p.Stats.Detaches++
+			p.ctr.detaches.Inc()
 			if len(l.sharers) == 0 {
 				delete(p.lines, key)
 			}
@@ -139,6 +168,9 @@ func (p *Protocol) Purge(key topology.LineKey) []int {
 	delete(p.lines, key)
 	p.Stats.Purges++
 	p.Stats.PurgedCopies += int64(len(victims))
+	p.ctr.purges.Inc()
+	p.ctr.purgedCopies.Add(int64(len(victims)))
+	p.ctr.purgeWalk.Observe(int64(len(victims)))
 	return victims
 }
 
@@ -166,6 +198,9 @@ func (p *Protocol) PurgeExcept(key topology.LineKey, keep int) []int {
 	}
 	p.Stats.Purges++
 	p.Stats.PurgedCopies += int64(len(victims))
+	p.ctr.purges.Inc()
+	p.ctr.purgedCopies.Add(int64(len(victims)))
+	p.ctr.purgeWalk.Observe(int64(len(victims)))
 	return victims
 }
 

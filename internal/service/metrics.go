@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"spp1000/internal/sim"
@@ -48,4 +50,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("sim_cycles_total", "%d", cycles)
 	p("sim_cycles_per_wall_second", "%.0f", perSec)
 	p("uptime_seconds", "%.3f", uptime)
+
+	// The daemon-lifetime PMU aggregate: one line per counter, dots
+	// flattened to underscores (cache.hn0.hits → sim_counter_cache_hn0_hits),
+	// emitted in sorted order so scrapes diff cleanly.
+	flat := s.SimCounters().Flatten()
+	keys := make([]string, 0, len(flat))
+	for k := range flat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p("sim_counter_"+strings.ReplaceAll(k, ".", "_"), "%d", flat[k])
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spp1000/internal/counters"
 	"spp1000/internal/experiments"
 	"spp1000/internal/resultcache"
 )
@@ -110,6 +111,7 @@ type job struct {
 	status    Status
 	cached    bool // result served from cache, no simulation run
 	result    string
+	counters  map[string]int64 // flattened PMU snapshot of the run
 	errMsg    string
 	submitted time.Time
 	started   time.Time
@@ -136,6 +138,10 @@ type Server struct {
 	started     time.Time
 	startCycles int64
 
+	// sim aggregates the PMU counters of every simulation the daemon
+	// runs, for /metrics; attached for the server's lifetime.
+	sim *counters.Collector
+
 	// cumulative counters (atomics: read by /metrics without the lock)
 	submitted atomic.Int64 // accepted submissions (incl. deduped)
 	deduped   atomic.Int64 // submissions answered by an existing job
@@ -157,7 +163,9 @@ func New(cfg Config) *Server {
 		queue:       make(chan *job, cfg.QueueDepth),
 		started:     time.Now(),
 		startCycles: simCycles(),
+		sim:         counters.NewCollector(),
 	}
+	counters.Attach(s.sim)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -289,9 +297,19 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 	s.runningN.Add(1)
 
+	// Per-job PMU attribution: every machine built while this collector
+	// is attached enables counters and publishes into it on completion.
+	// Attribution is exact at the default Workers=1; with concurrent
+	// jobs, each collector sees the union of whatever ran during its
+	// window (the /metrics aggregate stays exact either way). A
+	// cache-hit or coalesced job runs no simulation, so its snapshot is
+	// empty or partial by design.
+	jobCol := counters.NewCollector()
+	counters.Attach(jobCol)
 	res, outcome, err := s.cache.Do(j.ctx, j.id, func() (string, error) {
 		return s.cfg.Run(j.ctx, j.spec)
 	})
+	counters.Detach(jobCol)
 
 	s.runningN.Add(-1)
 	s.mu.Lock()
@@ -303,6 +321,11 @@ func (s *Server) runJob(j *job) {
 		j.status = StatusDone
 		j.result = res
 		j.cached = outcome == resultcache.Hit
+		if !j.cached {
+			if flat := jobCol.Snapshot().Flatten(); len(flat) > 0 {
+				j.counters = flat
+			}
+		}
 		s.done.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusCanceled
@@ -402,6 +425,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		counters.Detach(s.sim)
 		return nil
 	case <-ctx.Done():
 	}
@@ -413,7 +437,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	<-drained
+	counters.Detach(s.sim)
 	return ctx.Err()
+}
+
+// SimCounters snapshots the daemon-lifetime PMU aggregate across every
+// simulation run so far (the sppd_sim_counter_* lines of /metrics).
+func (s *Server) SimCounters() counters.Snapshot {
+	return s.sim.Snapshot()
 }
 
 // JobView is the wire representation of a job.
@@ -428,6 +459,11 @@ type JobView struct {
 	SubmittedAt string `json:"submittedAt,omitempty"`
 	StartedAt   string `json:"startedAt,omitempty"`
 	FinishedAt  string `json:"finishedAt,omitempty"`
+	// Counters is the flattened PMU snapshot of this job's simulations
+	// ("group.counter" → value), present once the job is done. Empty for
+	// cache-served jobs — they ran nothing. Attribution is exact at the
+	// daemon's default Workers=1; see docs/OBSERVABILITY.md.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 func (s *Server) viewLocked(j *job) JobView {
@@ -437,6 +473,12 @@ func (s *Server) viewLocked(j *job) JobView {
 		Status:      string(j.status),
 		Cached:      j.cached,
 		Error:       j.errMsg,
+	}
+	if len(j.counters) > 0 {
+		v.Counters = make(map[string]int64, len(j.counters))
+		for k, c := range j.counters {
+			v.Counters[k] = c
+		}
 	}
 	stamp := func(t time.Time) string {
 		if t.IsZero() {

@@ -409,3 +409,47 @@ func TestRealEngineEndToEnd(t *testing.T) {
 		t.Fatalf("daemon result differs from direct engine output:\n%q", res)
 	}
 }
+
+// TestJobCountersAndMetrics checks the PMU surfaces of the daemon: a
+// fresh job's view carries the flattened counter snapshot of its
+// simulations, and /metrics exports the daemon-lifetime aggregate as
+// sppd_sim_counter_* lines.
+func TestJobCountersAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v, code := submit(t, ts, `{"experiments":["fig2"],"quick":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	done := waitStatus(t, ts, v.ID, StatusDone)
+	if len(done.Counters) == 0 {
+		t.Fatal("done job has no counters")
+	}
+	if done.Counters["threads.forks"] == 0 {
+		t.Errorf("fig2 job counters missing fork events: %v", done.Counters)
+	}
+
+	// A dedup hit re-serves the same job record, counters included.
+	again, _ := submit(t, ts, `{"experiments":["fig2"],"quick":true}`)
+	if !again.Cached || again.Counters["threads.forks"] != done.Counters["threads.forks"] {
+		t.Errorf("dedup view lost counters: cached=%v %v", again.Cached, again.Counters)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	// fig2's fork-join teams run empty bodies: only threads.* counters
+	// record events (zero deltas are never published).
+	for _, want := range []string{
+		"sppd_sim_counter_threads_forks ",
+		"sppd_sim_counter_threads_spawn_local ",
+		"sppd_sim_counter_threads_team_size_count ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}

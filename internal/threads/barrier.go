@@ -67,6 +67,9 @@ func (b *Barrier) Wait(th *machine.Thread) {
 	// arrival's timestamp survives the overwrites.
 	b.lastEnter = th.Now()
 
+	g := th.M.Counters.Group("threads")
+	g.Counter("barrier_waits").Inc()
+
 	th.ComputeCycles(p.BarrierEnter)
 	// Decrement the uncached counting semaphore.
 	th.RMW(b.sema, 0)
@@ -101,6 +104,8 @@ func (b *Barrier) Wait(th *machine.Thread) {
 	sort.SliceStable(ws, func(i, j int) bool {
 		return invAt[ws[i].th.CPU] < invAt[ws[j].th.CPU]
 	})
+	g.Counter("barrier_episodes").Inc()
+	g.Histogram("barrier_release").Observe(int64(len(ws)))
 	supply := sim.Time(0)
 	for _, w := range ws {
 		at, ok := invAt[w.th.CPU]

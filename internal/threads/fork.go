@@ -31,17 +31,26 @@ func ForkJoin(parent *machine.Thread, n int, place Placement, body func(th *mach
 	crossed := false
 	saturated := n >= m.Topo.NumCPUs()
 
+	// PMU accounting: the threads group counts runtime events
+	// machine-wide (nil-safe when counters are disabled).
+	g := m.Counters.Group("threads")
+	g.Counter("forks").Inc()
+	g.Histogram("team_size").Observe(int64(n))
+
 	for tid := 0; tid < n; tid++ {
 		cpu := CPUFor(m.Topo, place, tid, n)
 		remote := cpu.Hypernode() != parent.CPU.Hypernode()
 		if remote && !crossed {
 			crossed = true
 			parent.Delay(sim.Time(p.RemoteRuntimeInit))
+			g.Counter("runtime_inits").Inc()
 		}
 		if remote {
 			parent.Delay(sim.Time(p.ThreadSpawnRemote))
+			g.Counter("spawn_remote").Inc()
 		} else {
 			parent.Delay(sim.Time(p.ThreadSpawnLocal))
+			g.Counter("spawn_local").Inc()
 		}
 		tid := tid
 		child := m.SpawnAt(parent.Now(), fmt.Sprintf("t%d", tid), cpu, func(th *machine.Thread) {
@@ -59,6 +68,7 @@ func ForkJoin(parent *machine.Thread, n int, place Placement, body func(th *mach
 		done.P(parent.P)
 	}
 	parent.Delay(sim.Time(int64(n) * p.JoinPerThread))
+	g.Counter("joins").Inc()
 	return children
 }
 

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Label names the state for structured exports ("compute", "memory",
+// "sync"); unknown states render as "state(<byte>)".
+func (s State) Label() string {
+	switch s {
+	case Busy:
+		return "compute"
+	case Mem:
+		return "memory"
+	case Sync:
+		return "sync"
+	}
+	return "state(" + string(byte(s)) + ")"
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto): "X" complete events carry a timestamp
+// and duration in microseconds; "M" metadata events name the lanes.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Cat  string            `json:"cat,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// ChromeTrace serializes the recorded intervals in the Chrome
+// trace-event JSON format, loadable in chrome://tracing or Perfetto.
+// Each lane becomes a named thread of process 1; virtual cycles convert
+// to trace microseconds at the machine's 100 MHz clock. otherData
+// (optional) is embedded verbatim — sppprof uses it for the machine's
+// flattened PMU counters. The output is deterministic: lanes are
+// metadata-named in sorted order and events are emitted sorted by
+// start time, then lane, then state.
+func (r *Recorder) ChromeTrace(otherData map[string]string) ([]byte, error) {
+	lanes := r.Lanes()
+	sort.Strings(lanes)
+	tid := make(map[string]int, len(lanes))
+	events := make([]chromeEvent, 0, 2*len(lanes)+r.Len()+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "SPP-1000 (simulated)"},
+	})
+	for i, l := range lanes {
+		tid[l] = i + 1
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]string{"name": l},
+		})
+	}
+	var ivs []Interval
+	if r != nil {
+		ivs = append(ivs, r.intervals...)
+	}
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].From != ivs[j].From {
+			return ivs[i].From < ivs[j].From
+		}
+		if tid[ivs[i].Lane] != tid[ivs[j].Lane] {
+			return tid[ivs[i].Lane] < tid[ivs[j].Lane]
+		}
+		return ivs[i].State < ivs[j].State
+	})
+	for _, iv := range ivs {
+		events = append(events, chromeEvent{
+			Name: iv.State.Label(), Ph: "X", Cat: "sim",
+			Pid: 1, Tid: tid[iv.Lane],
+			Ts:  iv.From.Micros(),
+			Dur: (iv.To - iv.From).Micros(),
+		})
+	}
+	return json.MarshalIndent(chromeFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		OtherData:       otherData,
+	}, "", " ")
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The title line must be clamped to the body line width, exactly like
+// the lane rows (companion to TestRenderClampsTinyWidth).
+func TestRenderClampsTitle(t *testing.T) {
+	long := strings.Repeat("T", 500)
+	r := New()
+	r.Record("lane", Busy, 0, 100)
+	for _, out := range []string{
+		r.Render(long, 20),
+		(&Recorder{}).Render(long, 20), // empty-recorder path clamps too
+	} {
+		title := strings.SplitN(out, "\n", 2)[0]
+		// Body lines are laneWidth + "|" + width + "|" wide at most.
+		if max := len("lane") + 20 + 3; len(title) > max {
+			t.Errorf("title %d chars, want <= %d:\n%s", len(title), max, out)
+		}
+	}
+	if out := r.Render(long, 1); len(strings.SplitN(out, "\n", 2)[0]) > len("lane")+10+3 {
+		t.Errorf("tiny width title not clamped:\n%s", out)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	r := New()
+	r.Record("t1", Busy, 0, 200)
+	r.Record("t0", Mem, 100, 350)
+	r.Record("t0", Sync, 350, 400)
+	data, err := r.ChromeTrace(map[string]string{"mem.hits": "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Tid  int               `json:"tid"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if file.OtherData["mem.hits"] != "42" {
+		t.Errorf("otherData missing counters: %v", file.OtherData)
+	}
+	// 1 process_name + 2 thread_name metadata + 3 X events.
+	var meta, complete int
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		}
+	}
+	if meta != 3 || complete != 3 {
+		t.Fatalf("got %d metadata / %d complete events, want 3/3:\n%s", meta, complete, data)
+	}
+	// Lanes are named in sorted order: t0 -> tid 1, t1 -> tid 2; the
+	// first complete event is the earliest (t1's compute at ts 0).
+	first := file.TraceEvents[3]
+	if first.Name != "compute" || first.Tid != 2 || first.Ts != 0 || first.Dur != 2 {
+		t.Errorf("first complete event = %+v, want compute on tid 2, ts 0, dur 2µs", first)
+	}
+	// Determinism: identical bytes on re-export.
+	again, _ := r.ChromeTrace(map[string]string{"mem.hits": "42"})
+	if string(data) != string(again) {
+		t.Error("ChromeTrace not deterministic")
+	}
+}
+
+func TestChromeTraceNilAndEmpty(t *testing.T) {
+	var nilRec *Recorder
+	for _, r := range []*Recorder{nilRec, New()} {
+		data, err := r.ChromeTrace(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "process_name") {
+			t.Errorf("empty trace missing process metadata:\n%s", data)
+		}
+	}
+}
+
+func TestStateLabel(t *testing.T) {
+	if Busy.Label() != "compute" || Mem.Label() != "memory" || Sync.Label() != "sync" {
+		t.Error("state labels changed")
+	}
+	if State('?').Label() != "state(?)" {
+		t.Errorf("unknown state label = %q", State('?').Label())
+	}
+}

@@ -22,8 +22,11 @@ import (
 type State byte
 
 const (
+	// Busy is time spent computing (rendered '#').
 	Busy State = '#'
-	Mem  State = '='
+	// Mem is time stalled on memory accesses (rendered '=').
+	Mem State = '='
+	// Sync is time parked in synchronization primitives (rendered '.').
 	Sync State = '.'
 )
 
@@ -111,14 +114,28 @@ func (r *Recorder) Totals() map[string]map[State]sim.Time {
 	return out
 }
 
-// Render draws the timeline with `width` character buckets per lane.
-// Within a bucket the state covering the most time wins.
-func (r *Recorder) Render(title string, width int) string {
-	if r == nil || len(r.intervals) == 0 {
-		return title + "\n(no trace recorded)\n"
+// clampLine truncates s to at most max runes, so no rendered line —
+// including the caller-supplied title — exceeds the timeline width.
+func clampLine(s string, max int) string {
+	if max < 1 {
+		max = 1
 	}
+	runes := []rune(s)
+	if len(runes) <= max {
+		return s
+	}
+	return string(runes[:max])
+}
+
+// Render draws the timeline with `width` character buckets per lane.
+// Within a bucket the state covering the most time wins. The title is
+// clamped to the body line width, like every other line.
+func (r *Recorder) Render(title string, width int) string {
 	if width < 10 {
 		width = 10
+	}
+	if r == nil || len(r.intervals) == 0 {
+		return clampLine(title, width+3) + "\n(no trace recorded)\n"
 	}
 	t0, t1 := r.Span()
 	span := t1 - t0
@@ -176,7 +193,7 @@ func (r *Recorder) Render(title string, width int) string {
 	}
 
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%s\n", clampLine(title, laneWidth+width+3))
 	fmt.Fprintf(&sb, "%v .. %v  (#=busy ==mem .=sync)\n", t0, t1)
 	for _, l := range lanes {
 		line := make([]byte, width)

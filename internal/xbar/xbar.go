@@ -7,15 +7,37 @@
 package xbar
 
 import (
+	"spp1000/internal/counters"
 	"spp1000/internal/sim"
 	"spp1000/internal/topology"
 )
+
+// hooks are the optional PMU-style counter handles, nil (free no-ops)
+// until AttachCounters.
+type hooks struct {
+	grants         *counters.Counter
+	conflicts      *counters.Counter
+	conflictCycles *counters.Counter
+}
 
 // Crossbar is one hypernode's switch.
 type Crossbar struct {
 	ports [topology.FUsPerNode + 1]sim.Resource // 4 FU ports + 1 I/O port
 	// transfers counts completed traversals for utilization reporting.
 	transfers int64
+	ctr       hooks
+}
+
+// AttachCounters mirrors traversals into the group: grants (port pairs
+// booked), conflicts (traversals that had to wait for a busy port), and
+// conflict_cycles (total cycles lost to those waits). A nil group
+// detaches.
+func (x *Crossbar) AttachCounters(g *counters.Group) {
+	x.ctr = hooks{
+		grants:         g.Counter("grants"),
+		conflicts:      g.Counter("conflicts"),
+		conflictCycles: g.Counter("conflict_cycles"),
+	}
 }
 
 // IOPort is the port index of the I/O connection.
@@ -41,6 +63,11 @@ func (x *Crossbar) Traverse(now sim.Time, src, dst int, dur sim.Time) sim.Time {
 	x.ports[src].Reserve(start, dur)
 	x.ports[dst].Reserve(start, dur)
 	x.transfers++
+	x.ctr.grants.Inc()
+	if start > now {
+		x.ctr.conflicts.Inc()
+		x.ctr.conflictCycles.Add(int64(start - now))
+	}
 	return start + dur
 }
 
