@@ -3,21 +3,27 @@
 GO ?= go
 
 # PR-numbered benchmark artifact (bump per PR to track the trajectory).
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 
-.PHONY: all verify build test race bench vet doc cover reproduce quick serve examples clean
+.PHONY: all verify build test race bench vet doc lint cover reproduce quick serve examples clean
 
-all: build vet test race
+all: build vet lint test race
 
 # Tier-1 verification chain: compile, static checks, doc coverage,
-# tests, race tests.
+# simulator invariants, tests, race tests.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) test ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./...
 
 # Fail on undocumented exported symbols of the core packages
-# (internal/sim, internal/trace, internal/runner, internal/counters).
+# (internal/sim, internal/trace, internal/runner, internal/counters,
+# internal/lint, internal/lint/linttest).
 doc:
 	$(GO) run ./cmd/doccheck
+
+# Enforce the simulator's determinism, sim-time, counter-handle, and
+# context-flow invariants (see docs/LINT.md).
+lint:
+	$(GO) run ./cmd/simlint
 
 build:
 	$(GO) build ./...

@@ -32,6 +32,8 @@ var defaultPackages = []string{
 	"internal/trace",
 	"internal/runner",
 	"internal/counters",
+	"internal/lint",
+	"internal/lint/linttest",
 }
 
 func main() {

@@ -1,0 +1,62 @@
+// Command simlint runs the repo's invariant analyzers (internal/lint)
+// over the module: determinism, simtime, counterhandle, and ctxflow.
+// It is the multichecker `make lint` and `make verify` invoke after
+// `go vet`.
+//
+// Usage:
+//
+//	simlint [-C dir] [package-pattern ...]
+//
+// With no patterns it checks ./... of the module at -C (default the
+// current directory). Every finding prints as
+//
+//	file:line:col: message (analyzer)
+//
+// and the exit status is 1 when any finding survives the
+// //simlint:allow suppressions, 2 on load failure, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spp1000/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory to lint")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-C dir] [package-pattern ...]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestFixtureModuleFails asserts the driver's contract end to end: run
+// against the violation-laden fixture module, simlint must exit 1 and
+// name the analyzers — the acceptance demonstration that seeding a
+// time.Now (or a Cycles/Duration mix) into a sim-core package fails the
+// build.
+func TestFixtureModuleFails(t *testing.T) {
+	out, err := exec.Command("go", "run", ".",
+		"-C", "../../internal/lint/testdata/fixmod").CombinedOutput()
+	if err == nil {
+		t.Fatalf("simlint on the fixture module succeeded, want exit 1\n%s", out)
+	}
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out)
+	}
+	for _, marker := range []string{
+		"(determinism)", "(simtime)", "(counterhandle)", "(ctxflow)",
+		"time.Now", "sim.Cycles",
+	} {
+		if !strings.Contains(string(out), marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}

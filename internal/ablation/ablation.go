@@ -34,8 +34,8 @@ import (
 // barrier built from PVM messages through a central coordinator.
 type BarrierComparison struct {
 	N        int
-	Hardware sim.Time // last-in to last-out
-	Software sim.Time
+	Hardware sim.Cycles // last-in to last-out
+	Software sim.Cycles
 }
 
 // CompareBarrier runs both barriers at the given team size on two
@@ -52,7 +52,7 @@ func CompareBarrier(n int) (BarrierComparison, error) {
 		b := threads.NewBarrier(m, n, 0)
 		_, err = threads.RunTeam(m, n, threads.HighLocality, func(th *machine.Thread, tid int) {
 			b.Wait(th)
-			th.Delay(sim.Time((n - 1 - tid) * 700))
+			th.Delay(sim.Cycles((n - 1 - tid) * 700))
 			b.Wait(th)
 		})
 		if err != nil {
@@ -74,7 +74,7 @@ func CompareBarrier(n int) (BarrierComparison, error) {
 		tasks := make([]*pvm.Task, n)
 		reg := m.K.NewSemaphore("reg", 0)
 		ready := m.K.NewEvent("ready")
-		var lastIn, lastOut sim.Time
+		var lastIn, lastOut sim.Cycles
 		softBarrier := func(th *machine.Thread, tid int) {
 			if th.Now() > lastIn {
 				lastIn = th.Now()
@@ -106,7 +106,7 @@ func CompareBarrier(n int) (BarrierComparison, error) {
 				ready.Wait(th.P)
 			}
 			softBarrier(th, tid) // warm
-			th.Delay(sim.Time((n - 1 - tid) * 700))
+			th.Delay(sim.Cycles((n - 1 - tid) * 700))
 			lastIn, lastOut = 0, 0
 			softBarrier(th, tid) // measured
 		})
@@ -122,22 +122,22 @@ func CompareBarrier(n int) (BarrierComparison, error) {
 // line set from one CPU, with and without the SCI global cache buffer.
 type BufferComparison struct {
 	Reads         int
-	WithBuffer    sim.Time
-	WithoutBuffer sim.Time
+	WithBuffer    sim.Cycles
+	WithoutBuffer sim.Cycles
 }
 
 // CompareGlobalBuffer reads the same 64 remote lines eight times over
 // (with a cache too small to hold them, so every read reaches the
 // memory system).
 func CompareGlobalBuffer() (BufferComparison, error) {
-	run := func(disable bool) (sim.Time, error) {
+	run := func(disable bool) (sim.Cycles, error) {
 		m, err := machine.New(machine.Config{Hypernodes: 2, CacheLines: 16})
 		if err != nil {
 			return 0, err
 		}
 		m.Mem.DisableGlobalBuffer = disable
 		remote := m.Alloc("remote", topology.NearShared, 1, 0)
-		var total sim.Time
+		var total sim.Cycles
 		m.Spawn("reader", topology.MakeCPU(0, 0, 0), func(th *machine.Thread) {
 			start := th.Now()
 			for pass := 0; pass < 8; pass++ {
@@ -167,21 +167,21 @@ func CompareGlobalBuffer() (BufferComparison, error) {
 // RingComparison measures concurrent remote streaming from all four
 // functional units of hypernode 0, with four rings vs. one.
 type RingComparison struct {
-	FourRings sim.Time
-	OneRing   sim.Time
+	FourRings sim.Cycles
+	OneRing   sim.Cycles
 }
 
 // CompareRings streams 128 distinct remote lines from each of four CPUs
 // (one per FU, so with four rings each has a private ring).
 func CompareRings() (RingComparison, error) {
-	run := func(single bool) (sim.Time, error) {
+	run := func(single bool) (sim.Cycles, error) {
 		m, err := machine.New(machine.Config{Hypernodes: 2, CacheLines: 16})
 		if err != nil {
 			return 0, err
 		}
 		m.Mem.SingleRing = single
 		remote := m.Alloc("remote", topology.NearShared, 1, 0)
-		var last sim.Time
+		var last sim.Cycles
 		done := m.K.NewSemaphore("done", 0)
 		for fu := 0; fu < topology.FUsPerNode; fu++ {
 			fu := fu
@@ -283,8 +283,8 @@ func ComparePowerOfTwo() (PowerOfTwoComparison, error) {
 // "lightweight threads" future-work item.
 type LightweightComparison struct {
 	Regions  int
-	ForkJoin sim.Time
-	Pool     sim.Time
+	ForkJoin sim.Cycles
+	Pool     sim.Cycles
 }
 
 // CompareLightweight runs 10 16-thread regions of small bodies both ways.

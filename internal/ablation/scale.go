@@ -24,7 +24,7 @@ func ScaleReport() (string, error) {
 		{2, 16}, {4, 32}, {8, 64}, {16, 128},
 	}
 
-	type prim struct{ fj, lifo, lilo sim.Time }
+	type prim struct{ fj, lifo, lilo sim.Cycles }
 	prims, err := runner.Map(len(configs), func(i int) (prim, error) {
 		cfg := configs[i]
 		t, err := microbench.ForkJoinCost(cfg.hypernodes, cfg.threads, threads.HighLocality)

@@ -1,3 +1,5 @@
+//simlint:allow-file determinism merging is commutative and Snapshot sorts, so map iteration order cannot reach any output
+
 package counters
 
 import (

@@ -237,11 +237,14 @@ func (r *Registry) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	var s Snapshot
+	//simlint:allow determinism s.sort() below orders every group and entry by name before anything renders
 	for name, g := range r.groups {
 		gs := GroupSnapshot{Name: name}
+		//simlint:allow determinism s.sort() below orders every group and entry by name before anything renders
 		for cn, c := range g.counters {
 			gs.Counters = append(gs.Counters, CounterValue{Name: cn, Value: c.v})
 		}
+		//simlint:allow determinism s.sort() below orders every group and entry by name before anything renders
 		for hn, h := range g.hists {
 			hv := h.cur
 			hv.Name = hn

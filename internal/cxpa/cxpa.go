@@ -22,10 +22,10 @@ import (
 type ThreadProfile struct {
 	Name     string
 	CPU      string
-	Busy     sim.Time
-	MemStall sim.Time
-	SyncWait sim.Time
-	Total    sim.Time
+	Busy     sim.Cycles
+	MemStall sim.Cycles
+	SyncWait sim.Cycles
+	Total    sim.Cycles
 }
 
 // Snapshot captures the profile of a set of threads at the current

@@ -57,7 +57,7 @@ type Loop struct {
 // simulated threads and returns the loop's fork-to-join virtual time.
 // Iterations within a thread run in index order; across threads the
 // interleaving follows the schedule.
-func For(m *machine.Machine, l Loop, body func(th *machine.Thread, i int)) (sim.Time, error) {
+func For(m *machine.Machine, l Loop, body func(th *machine.Thread, i int)) (sim.Cycles, error) {
 	if l.Iters < 0 || l.Threads < 1 {
 		return 0, fmt.Errorf("directives: invalid loop %+v", l)
 	}
@@ -108,7 +108,7 @@ func For(m *machine.Machine, l Loop, body func(th *machine.Thread, i int)) (sim.
 // its iterations into a thread-private partial (the §3.2 idiom), and the
 // partials are combined under a gate at the join. It returns the sum of
 // value(i) over 0 ≤ i < l.Iters and the loop's virtual duration.
-func ReduceSum(m *machine.Machine, l Loop, value func(i int) float64) (float64, sim.Time, error) {
+func ReduceSum(m *machine.Machine, l Loop, value func(i int) float64) (float64, sim.Cycles, error) {
 	if l.Iters < 0 || l.Threads < 1 {
 		return 0, 0, fmt.Errorf("directives: invalid loop %+v", l)
 	}
@@ -142,8 +142,8 @@ func ReduceSum(m *machine.Machine, l Loop, value func(i int) float64) (float64, 
 // so every update invalidates the line in three other caches; in the
 // "private" variant each scalar is thread private. The ratio is the
 // "cache thrashing" the directive eliminates.
-func FalseSharing(iters int) (shared, private sim.Time, err error) {
-	run := func(class topology.Class, spread int) (sim.Time, error) {
+func FalseSharing(iters int) (shared, private sim.Cycles, err error) {
+	run := func(class topology.Class, spread int) (sim.Cycles, error) {
 		m, err := machine.New(machine.Config{Hypernodes: 1})
 		if err != nil {
 			return 0, err

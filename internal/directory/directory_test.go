@@ -1,10 +1,10 @@
 package directory
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"spp1000/internal/rng"
 	"spp1000/internal/topology"
 )
 
@@ -130,15 +130,15 @@ func TestForeignCPUPanics(t *testing.T) {
 // presence masks non-empty, dirty lines exclusively owned.
 func TestInvariantsUnderRandomOps(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rnd := rng.New(uint64(seed))
 		d := New(0)
 		lines := []topology.LineKey{
 			{Space: 1, Line: 1}, {Space: 1, Line: 2}, {Space: 2, Line: 1},
 		}
 		for i := 0; i < 200; i++ {
-			key := lines[rng.Intn(len(lines))]
-			cpu := topology.CPUID(rng.Intn(8))
-			switch rng.Intn(3) {
+			key := lines[rnd.Intn(len(lines))]
+			cpu := topology.CPUID(rnd.Intn(8))
+			switch rnd.Intn(3) {
 			case 0:
 				d.RecordRead(key, cpu)
 			case 1:
@@ -161,13 +161,13 @@ func TestInvariantsUnderRandomOps(t *testing.T) {
 // Property: a write always leaves the writer as sole sharer and owner.
 func TestWriteExclusivityProperty(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rnd := rng.New(uint64(seed))
 		d := New(0)
-		key := topology.LineKey{Space: 3, Line: uint64(rng.Intn(100))}
+		key := topology.LineKey{Space: 3, Line: uint64(rnd.Intn(100))}
 		for i := 0; i < 10; i++ {
-			d.RecordRead(key, topology.CPUID(rng.Intn(8)))
+			d.RecordRead(key, topology.CPUID(rnd.Intn(8)))
 		}
-		w := topology.CPUID(rng.Intn(8))
+		w := topology.CPUID(rnd.Intn(8))
 		d.RecordWrite(key, w)
 		sh := d.Sharers(key)
 		owner, ok := d.Owner(key)

@@ -100,7 +100,7 @@ func barrierEpisode() (counters.Snapshot, error) {
 		// arrives last and performs the releasing write. The step must
 		// dwarf the serialized fork dispatch (~20k cycles across 16
 		// spawns) or the arrival order is the spawn order instead.
-		th.Delay(sim.Time((n - 1 - tid) * 25000))
+		th.Delay(sim.Cycles((n - 1 - tid) * 25000))
 		bar.Wait(th)
 	})
 	if err != nil {

@@ -38,6 +38,46 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminismPar8 pins the rng-audit contract: the
+// experiments that consume internal/rng (fig6 drives the PIC app, fig7
+// the N-body app) must render byte-identically at -par 1 and -par 8.
+// Each worker count runs twice so the test also catches state leaking
+// between runs, not just between fan-out widths.
+func TestParallelDeterminismPar8(t *testing.T) {
+	names := []string{"fig6", "fig7"}
+	o := Quick()
+
+	run := func(workers int) []string {
+		t.Helper()
+		runner.SetWorkers(workers)
+		defer runner.SetWorkers(0)
+		outs, err := RunMany(names, o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return outs
+	}
+
+	par1a, par1b := run(1), run(1)
+	par8a, par8b := run(8), run(8)
+
+	for i, name := range names {
+		if par1a[i] != par1b[i] {
+			t.Errorf("%s: two -par 1 runs differ", name)
+		}
+		if par8a[i] != par8b[i] {
+			t.Errorf("%s: two -par 8 runs differ", name)
+		}
+		if par1a[i] != par8a[i] {
+			t.Errorf("%s: output differs between -par 1 and -par 8:\n--- par 1 (%d bytes) ---\n%.400s\n--- par 8 (%d bytes) ---\n%.400s",
+				name, len(par1a[i]), par1a[i], len(par8a[i]), par8a[i])
+		}
+		if len(par1a[i]) == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
 // TestRunManyMatchesRun checks the pooled dispatch returns exactly what
 // per-name Run calls return, in name order.
 func TestRunManyMatchesRun(t *testing.T) {

@@ -1,0 +1,102 @@
+package lint
+
+import "strings"
+
+// ModulePath is the import path of this module; the analyzers key their
+// type matching (sim.Cycles, counters handles) and the package
+// classification on it.
+const ModulePath = "spp1000"
+
+// Class partitions the module's packages by which invariants apply.
+type Class int
+
+const (
+	// ClassExempt packages (cmd/*, examples/*, and anything outside the
+	// classified lists) are host tooling: no analyzer applies.
+	ClassExempt Class = iota
+	// ClassHost packages run on the host side of the engine (worker
+	// pools, the daemon, caches). They may spawn goroutines and iterate
+	// maps, but wall-clock reads must be annotated and contexts must
+	// flow (determinism's wall-clock check and ctxflow apply).
+	ClassHost
+	// ClassSimCore packages execute inside, or render the output of, the
+	// deterministic simulation. Every analyzer applies in full.
+	ClassSimCore
+)
+
+// String names the class for diagnostics and docs.
+func (c Class) String() string {
+	switch c {
+	case ClassHost:
+		return "host"
+	case ClassSimCore:
+		return "sim-core"
+	default:
+		return "exempt"
+	}
+}
+
+// SimCorePackages lists the module-relative import paths (each covering
+// its subtree) classified ClassSimCore: the packages whose execution or
+// output must be bit-deterministic because the paper's cycle counts and
+// the serial-vs-parallel byte-identical guarantee depend on them.
+var SimCorePackages = []string{
+	"internal/sim",
+	"internal/machine",
+	"internal/cache",
+	"internal/directory",
+	"internal/sci",
+	"internal/ring",
+	"internal/xbar",
+	"internal/memsys",
+	"internal/threads",
+	"internal/apps",
+	"internal/pvm",
+	"internal/rng",
+	"internal/topology",
+	"internal/perfmodel",
+	"internal/fft",
+	"internal/morton",
+	"internal/c90",
+	"internal/cxpa",
+	"internal/directives",
+	"internal/stats",
+	"internal/counters",
+	"internal/experiments",
+	"internal/ablation",
+	"internal/microbench",
+	"internal/trace",
+}
+
+// HostPackages lists the module-relative import paths (each covering its
+// subtree) classified ClassHost: legitimately concurrent, wall-clock
+// adjacent host machinery.
+var HostPackages = []string{
+	"internal/runner",
+	"internal/service",
+	"internal/resultcache",
+	"internal/lint",
+}
+
+// Classify maps a full import path to its Class. Packages outside the
+// module, under cmd/ or examples/, or in neither list are ClassExempt.
+func Classify(pkgPath string) Class {
+	rel, ok := strings.CutPrefix(pkgPath, ModulePath+"/")
+	if !ok {
+		return ClassExempt
+	}
+	if strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/") {
+		return ClassExempt
+	}
+	for _, p := range SimCorePackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return ClassSimCore
+		}
+	}
+	for _, p := range HostPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return ClassHost
+		}
+	}
+	return ClassExempt
+}

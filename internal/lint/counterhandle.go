@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// countersPkgPath is the import path of the PMU-style counter subsystem.
+const countersPkgPath = ModulePath + "/internal/counters"
+
+// handleTypes are the counters types whose nil pointer is the documented
+// disabled sink: every exported method must be a pointer-receiver method
+// that begins with a nil-receiver guard, so the disabled path stays a
+// single branch with zero allocations.
+var handleTypes = map[string]bool{
+	"Counter": true, "Histogram": true, "Group": true, "Registry": true,
+}
+
+// CounterHandle enforces the internal/counters zero-alloc contract from
+// both sides. Inside the counters package, every exported method on a
+// handle type (Counter, Histogram, Group, Registry) must take a pointer
+// receiver and open with a nil-receiver guard — a method added without
+// the guard would panic the first machine built with counters disabled.
+// Outside the package, dereferencing a handle pointer (*h) is flagged:
+// it copies the handle (splitting its counts from the registry) and
+// panics on the nil disabled sink; all access goes through the nil-safe
+// methods.
+var CounterHandle = &Analyzer{
+	Name: "counterhandle",
+	Doc:  "keep internal/counters handles nil-safe: guarded pointer-receiver methods inside, no handle dereferences outside",
+	Run:  runCounterHandle,
+}
+
+func runCounterHandle(pass *Pass) error {
+	if pass.Pkg.Class == ClassExempt {
+		return nil
+	}
+	info := pass.Pkg.Info
+	inCounters := pass.Pkg.PkgPath == countersPkgPath
+	for _, f := range pass.Pkg.Files {
+		if inCounters {
+			for _, decl := range f.Decls {
+				checkHandleMethod(pass, info, decl)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			star, ok := n.(*ast.StarExpr)
+			if !ok || inCounters {
+				return true
+			}
+			tv, ok := info.Types[star.X]
+			if !ok || !tv.IsValue() {
+				return true
+			}
+			ptr, ok := types.Unalias(tv.Type).(*types.Pointer)
+			if !ok {
+				return true
+			}
+			if named, ok := types.Unalias(ptr.Elem()).(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == countersPkgPath &&
+				handleTypes[named.Obj().Name()] {
+				pass.Reportf(star.Pos(), "dereferencing counters handle *%s copies it and panics on the nil disabled sink: use its nil-safe methods", named.Obj().Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHandleMethod reports exported handle methods that break the
+// nil-safe pattern: value receivers, or bodies that do not open with a
+// nil-receiver guard.
+func checkHandleMethod(pass *Pass, info *types.Info, decl ast.Decl) {
+	fd, ok := decl.(*ast.FuncDecl)
+	if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+		return
+	}
+	recvType := info.TypeOf(fd.Recv.List[0].Type)
+	if recvType == nil {
+		return
+	}
+	ptr, isPtr := types.Unalias(recvType).(*types.Pointer)
+	var named *types.Named
+	if isPtr {
+		named, _ = types.Unalias(ptr.Elem()).(*types.Named)
+	} else {
+		named, _ = types.Unalias(recvType).(*types.Named)
+	}
+	if named == nil || !handleTypes[named.Obj().Name()] {
+		return
+	}
+	if !isPtr {
+		pass.Reportf(fd.Pos(), "exported method %s.%s on a nil-safe handle must use a pointer receiver", named.Obj().Name(), fd.Name.Name)
+		return
+	}
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return // receiver unnamed: the body cannot dereference it
+	}
+	if fd.Body == nil || !startsWithNilGuard(fd.Body, names[0].Name) {
+		pass.Reportf(fd.Pos(), "exported method (*%s).%s must open with a nil-receiver guard: the nil handle is the disabled sink", named.Obj().Name(), fd.Name.Name)
+	}
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition compares the receiver against nil (either polarity,
+// possibly inside a larger && / || condition).
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	return condComparesNil(ifStmt.Cond, recv)
+}
+
+func condComparesNil(e ast.Expr, recv string) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.EQL, token.NEQ:
+		return isIdent(bin.X, recv) && isIdent(bin.Y, "nil") ||
+			isIdent(bin.X, "nil") && isIdent(bin.Y, recv)
+	case token.LAND, token.LOR:
+		return condComparesNil(bin.X, recv) || condComparesNil(bin.Y, recv)
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards the cancellation plumbing: once a function has accepted
+// a context.Context, that context must keep flowing. Inside such a
+// function it flags (1) minting a fresh context.Background() or
+// context.TODO() — which silently detaches the callee from the caller's
+// cancellation — and (2) calling a context-free function F when its
+// package also exports FCtx taking a leading context.Context (the
+// convention internal/runner and internal/experiments use for their
+// cancellable variants).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function that accepts a context must pass it on, not mint context.Background/TODO or call the context-free sibling",
+	Run:  runCtxFlow,
+}
+
+func isContext(t types.Type) bool { return isNamedType(t, "context", "Context") }
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Class == ClassExempt {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s() inside a function that already has a Context: pass the caller's ctx so cancellation reaches this call", fn.Name())
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil || sigHasCtxParam(sig) {
+					return true
+				}
+				alt, ok := fn.Pkg().Scope().Lookup(fn.Name() + "Ctx").(*types.Func)
+				if !ok {
+					return true
+				}
+				asig := alt.Type().(*types.Signature)
+				if asig.Params().Len() > 0 && isContext(asig.Params().At(0).Type()) {
+					pass.Reportf(call.Pos(), "%s.%s drops the caller's ctx: call %s.%sCtx and pass it", fn.Pkg().Name(), fn.Name(), fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the declared function has a parameter of
+// type context.Context.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// sigHasCtxParam reports whether any parameter of sig is a
+// context.Context.
+func sigHasCtxParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"testing"
+
+	"spp1000/internal/lint"
+	"spp1000/internal/lint/linttest"
+)
+
+// fixmod is the shadow module (module path spp1000, like the real one)
+// holding the golden fixtures.
+const fixmod = "testdata/fixmod"
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, fixmod,
+		[]string{"./internal/cache", "./internal/runner", "./cmd/tool"},
+		lint.Determinism)
+}
+
+func TestSimTime(t *testing.T) {
+	linttest.Run(t, fixmod, []string{"./internal/machine"}, lint.SimTime)
+}
+
+func TestCounterHandle(t *testing.T) {
+	linttest.Run(t, fixmod,
+		[]string{"./internal/counters", "./internal/memsys"},
+		lint.CounterHandle)
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, fixmod, []string{"./internal/service", "./cmd/tool"}, lint.CtxFlow)
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		path string
+		want lint.Class
+	}{
+		{"spp1000/internal/sim", lint.ClassSimCore},
+		{"spp1000/internal/apps/fem", lint.ClassSimCore},
+		{"spp1000/internal/counters", lint.ClassSimCore},
+		{"spp1000/internal/runner", lint.ClassHost},
+		{"spp1000/internal/service", lint.ClassHost},
+		{"spp1000/internal/resultcache", lint.ClassHost},
+		{"spp1000/cmd/sppbench", lint.ClassExempt},
+		{"spp1000/examples/quickstart", lint.ClassExempt},
+		{"fmt", lint.ClassExempt},
+		{"spp1000", lint.ClassExempt},
+	}
+	for _, c := range cases {
+		if got := lint.Classify(c.path); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestTreeClean is the acceptance gate in miniature: the real module
+// must type-check and produce zero unsuppressed findings, exactly as
+// `make lint` requires.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := lint.Load("../..")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

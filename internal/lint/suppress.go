@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives:
+//
+//	//simlint:allow <analyzer>[,<analyzer>] <reason>
+//	//simlint:allow-file <analyzer>[,<analyzer>] <reason>
+//
+// The line form covers findings on the directive's own line or the line
+// directly below it (so it works both as a trailing comment and as a
+// comment above the statement). The file form covers the whole file.
+// "all" matches every analyzer. The reason is mandatory: an allow
+// without a justification is reported as a finding of the pseudo
+// analyzer "simlint" and is itself unsuppressable.
+const (
+	allowPrefix     = "//simlint:allow "
+	allowFilePrefix = "//simlint:allow-file "
+)
+
+// allowTable records which analyzers are suppressed where.
+type allowTable struct {
+	// file maps filename -> analyzer name (or "all") -> file-wide allow.
+	file map[string]map[string]bool
+	// line maps filename -> line -> analyzer name (or "all") -> allow.
+	line map[string]map[int]map[string]bool
+}
+
+func (t *allowTable) allows(d Diagnostic) bool {
+	if names := t.file[d.Pos.Filename]; names["all"] || names[d.Analyzer] {
+		return true
+	}
+	names := t.line[d.Pos.Filename][d.Pos.Line]
+	return names["all"] || names[d.Analyzer]
+}
+
+// collectAllows scans a package's comments for simlint directives. It
+// returns the suppression table and one "simlint" diagnostic per
+// malformed directive (missing analyzer name or missing reason).
+func collectAllows(pkg *Package) (*allowTable, []Diagnostic) {
+	tab := &allowTable{
+		file: make(map[string]map[string]bool),
+		line: make(map[string]map[int]map[string]bool),
+	}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				fileWide := false
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					rest, ok = strings.CutPrefix(c.Text, allowFilePrefix)
+					fileWide = ok
+				}
+				if !ok {
+					// A directive with no trailing space at all (and so no
+					// arguments) is malformed too.
+					if trimmed := strings.TrimSpace(c.Text); trimmed == "//simlint:allow" || trimmed == "//simlint:allow-file" {
+						malformed = append(malformed, malformedAt(pkg, c.Pos()))
+					}
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 { // analyzer name plus at least one word of reason
+					malformed = append(malformed, malformedAt(pkg, c.Pos()))
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						continue
+					}
+					if fileWide {
+						set := tab.file[pos.Filename]
+						if set == nil {
+							set = make(map[string]bool)
+							tab.file[pos.Filename] = set
+						}
+						set[name] = true
+						continue
+					}
+					lines := tab.line[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						tab.line[pos.Filename] = lines
+					}
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						set := lines[ln]
+						if set == nil {
+							set = make(map[string]bool)
+							lines[ln] = set
+						}
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return tab, malformed
+}
+
+func malformedAt(pkg *Package, pos token.Pos) Diagnostic {
+	return Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: "simlint",
+		Message:  "malformed simlint directive: want //simlint:allow <analyzer> <reason>",
+	}
+}

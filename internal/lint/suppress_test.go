@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parsePkg wraps one source string as a loaded Package for white-box
+// tests of the suppression table.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "spp1000/internal/fix", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestAllowDirectiveCoversLineAndNextLine(t *testing.T) {
+	pkg := parsePkg(t, `package fix
+
+//simlint:allow determinism justified reason
+var a = 1
+var b = 2
+`)
+	tab, malformed := collectAllows(pkg)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v, want none", malformed)
+	}
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "fix.go", Line: line}, Analyzer: analyzer}
+	}
+	if !tab.allows(mk(3, "determinism")) || !tab.allows(mk(4, "determinism")) {
+		t.Errorf("directive should cover its own line and the next")
+	}
+	if tab.allows(mk(5, "determinism")) {
+		t.Errorf("directive must not cover line 5")
+	}
+	if tab.allows(mk(4, "simtime")) {
+		t.Errorf("directive names determinism only, must not cover simtime")
+	}
+}
+
+func TestAllowDirectiveLists(t *testing.T) {
+	pkg := parsePkg(t, `package fix
+
+//simlint:allow determinism,simtime shared justification
+var a = 1
+
+//simlint:allow all everything goes here
+var b = 2
+`)
+	tab, malformed := collectAllows(pkg)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v, want none", malformed)
+	}
+	at := func(line int, analyzer string) bool {
+		return tab.allows(Diagnostic{Pos: token.Position{Filename: "fix.go", Line: line}, Analyzer: analyzer})
+	}
+	if !at(4, "determinism") || !at(4, "simtime") {
+		t.Errorf("comma list should cover both analyzers")
+	}
+	if at(4, "ctxflow") {
+		t.Errorf("comma list must not cover unnamed analyzers")
+	}
+	if !at(7, "ctxflow") {
+		t.Errorf("'all' should cover every analyzer")
+	}
+}
+
+func TestAllowFileDirective(t *testing.T) {
+	pkg := parsePkg(t, `//simlint:allow-file determinism whole file is commutative merging
+
+package fix
+
+var a = 1
+`)
+	tab, malformed := collectAllows(pkg)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v, want none", malformed)
+	}
+	if !tab.allows(Diagnostic{Pos: token.Position{Filename: "fix.go", Line: 99}, Analyzer: "determinism"}) {
+		t.Errorf("allow-file should cover any line")
+	}
+	if tab.allows(Diagnostic{Pos: token.Position{Filename: "other.go", Line: 1}, Analyzer: "determinism"}) {
+		t.Errorf("allow-file must not cover other files")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	pkg := parsePkg(t, `package fix
+
+//simlint:allow determinism
+var a = 1
+
+//simlint:allow
+var b = 2
+
+//simlint:allow-file simtime
+var c = 3
+`)
+	_, malformed := collectAllows(pkg)
+	if len(malformed) != 3 {
+		t.Fatalf("got %d malformed diagnostics, want 3: %v", len(malformed), malformed)
+	}
+	for _, d := range malformed {
+		if d.Analyzer != "simlint" {
+			t.Errorf("malformed directive reported by %q, want simlint", d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Command tool is a simlint fixture: cmd/* packages are exempt host
+// tooling, so nothing here is a finding.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+func main() {
+	go func() {}()
+	fmt.Println(time.Now(), run(context.Background()))
+}
+
+func run(ctx context.Context) int {
+	_ = context.TODO()
+	return 1
+}

@@ -1,0 +1,44 @@
+// Package cache is a simlint fixture: every determinism violation a
+// sim-core package can commit, plus the //simlint:allow escape hatch.
+package cache
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad trips each determinism check once.
+func Bad(m map[int]int) int {
+	t := time.Now()           // want `wall-clock call time\.Now`
+	time.Sleep(time.Since(t)) // want `time\.Sleep` `time\.Since`
+	go func() {}()            // want `goroutine spawned in sim-core`
+	n := rand.Intn(8)         // want `math/rand in sim-core`
+	for k := range m {        // want `map iteration order is nondeterministic`
+		n += k
+	}
+	return n
+}
+
+// SliceRange iterates a slice: ordered, no finding.
+func SliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+// Allowed shows the trailing-comment escape hatch.
+func Allowed() int64 {
+	return time.Now().UnixNano() //simlint:allow determinism fixture: annotated wall-clock read
+}
+
+// AllowedAbove shows the directive on the line above.
+func AllowedAbove(m map[int]int) int {
+	n := 0
+	//simlint:allow determinism fixture: order feeds a commutative sum only
+	for k := range m {
+		n += k
+	}
+	return n
+}

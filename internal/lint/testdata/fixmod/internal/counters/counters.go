@@ -1,0 +1,58 @@
+// Package counters is a simlint fixture: the nil-safe handle contract
+// the counterhandle analyzer enforces inside the counters package.
+package counters
+
+// Counter is a nil-safe handle: the nil pointer is the disabled sink.
+type Counter struct{ v int64 }
+
+// Inc is properly guarded (wrap polarity).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Value is properly guarded (early-return polarity).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// AddClamped is properly guarded with a compound condition.
+func (c *Counter) AddClamped(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v += n
+}
+
+// Unguarded dereferences the receiver without a nil guard.
+func (c *Counter) Unguarded() int64 { // want `must open with a nil-receiver guard`
+	return c.v
+}
+
+// Copying uses a value receiver, splitting the handle from its registry.
+func (c Counter) Copying() int64 { // want `must use a pointer receiver`
+	return c.v
+}
+
+// reset is unexported: internal helpers may assume a live receiver.
+func (c *Counter) reset() { c.v = 0 }
+
+// Group hands out counters; the nil group hands out nil counters.
+type Group struct{ m map[string]*Counter }
+
+// Counter is properly guarded.
+func (g *Group) Counter(name string) *Counter {
+	if g == nil {
+		return nil
+	}
+	c, ok := g.m[name]
+	if !ok {
+		c = &Counter{}
+		g.m[name] = c
+	}
+	return c
+}

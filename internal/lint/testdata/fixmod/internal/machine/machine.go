@@ -1,0 +1,37 @@
+// Package machine is a simlint fixture: wall-clock types and
+// Cycles/Duration mixing in a sim-core package.
+package machine
+
+import (
+	"time"
+
+	"spp1000/internal/sim"
+)
+
+// Latency holds a wall-clock duration where cycles belong.
+type Latency struct {
+	D time.Duration // want `wall-clock type time\.Duration`
+}
+
+// Stamp is wall-clock state inside the simulated machine.
+var Stamp time.Time // want `wall-clock type time\.Time`
+
+// FromWall converts wall-clock time into virtual time.
+func FromWall(d time.Duration) sim.Cycles { // want `wall-clock type time\.Duration`
+	return sim.Cycles(d) // want `conversion of time\.Duration to sim\.Cycles`
+}
+
+// ToWall converts virtual time back to wall-clock time.
+func ToWall(c sim.Cycles) time.Duration { // want `wall-clock type time\.Duration`
+	return time.Duration(c) // want `conversion of sim\.Cycles to time\.Duration` `wall-clock type time\.Duration`
+}
+
+// ViaAlias converts through the legacy sim.Time alias: same finding.
+func ViaAlias(d time.Duration) sim.Time { // want `wall-clock type time\.Duration`
+	return sim.Time(d) // want `conversion of time\.Duration to sim\.Cycles`
+}
+
+// PureCycles stays inside the unit system: no finding.
+func PureCycles(c sim.Cycles) sim.Cycles {
+	return c*2 + sim.Cycles(100)
+}

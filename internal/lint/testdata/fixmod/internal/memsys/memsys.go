@@ -1,0 +1,17 @@
+// Package memsys is a simlint fixture: how components outside the
+// counters package may and may not touch counter handles.
+package memsys
+
+import "spp1000/internal/counters"
+
+// Copy dereferences a handle, which panics on the nil disabled sink.
+func Copy(c *counters.Counter) int64 {
+	cp := *c // want `dereferencing counters handle \*Counter`
+	return cp.Value()
+}
+
+// Read goes through the nil-safe accessor: fine.
+func Read(c *counters.Counter) int64 {
+	c.Inc()
+	return c.Value()
+}

@@ -1,0 +1,32 @@
+// Package service is a simlint fixture: context-flow violations in a
+// host package.
+package service
+
+import "context"
+
+// Step is the context-free variant of StepCtx.
+func Step(n int) int { return n }
+
+// StepCtx is the cancellable variant of Step.
+func StepCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Run has a ctx and must keep it flowing.
+func Run(ctx context.Context, n int) int {
+	n = StepCtx(context.TODO(), n) // want `context\.TODO\(\) inside a function`
+	root := context.Background()   // want `context\.Background\(\) inside a function`
+	_ = root
+	return Step(n) // want `drops the caller's ctx`
+}
+
+// Flows passes its ctx on everywhere: no finding.
+func Flows(ctx context.Context, n int) int {
+	return StepCtx(ctx, n)
+}
+
+// Free has no ctx parameter: minting a root context is legal.
+func Free(n int) int {
+	return StepCtx(context.Background(), n)
+}

@@ -1,0 +1,10 @@
+// Package sim is a miniature stand-in for the real simulation kernel:
+// the fixture module shares this module's import path, so the simtime
+// analyzer resolves spp1000/internal/sim.Cycles against this type.
+package sim
+
+// Cycles is virtual time in CPU cycles.
+type Cycles int64
+
+// Time is the legacy alias of Cycles.
+type Time = Cycles

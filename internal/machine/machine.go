@@ -108,9 +108,9 @@ type Thread struct {
 	// paper's §6 credits for its optimization work. Busy accumulates
 	// compute, MemStall memory-access latency, SyncWait time parked in
 	// synchronization primitives (filled by the threads package).
-	Busy     sim.Time
-	MemStall sim.Time
-	SyncWait sim.Time
+	Busy     sim.Cycles
+	MemStall sim.Cycles
+	SyncWait sim.Cycles
 }
 
 // Spawn starts fn as a simulated thread on the given CPU.
@@ -122,7 +122,7 @@ func (m *Machine) Spawn(name string, cpu topology.CPUID, fn func(th *Thread)) *T
 }
 
 // SpawnAt is Spawn starting at absolute virtual time t.
-func (m *Machine) SpawnAt(t sim.Time, name string, cpu topology.CPUID, fn func(th *Thread)) *Thread {
+func (m *Machine) SpawnAt(t sim.Cycles, name string, cpu topology.CPUID, fn func(th *Thread)) *Thread {
 	th := &Thread{M: m, CPU: cpu}
 	th.P = m.K.SpawnAt(t, name, func(p *sim.Proc) { fn(th) })
 	return th
@@ -137,14 +137,14 @@ func (m *Machine) Run() error {
 }
 
 // Now reports the current virtual time.
-func (m *Machine) Now() sim.Time { return m.K.Now() }
+func (m *Machine) Now() sim.Cycles { return m.K.Now() }
 
 // SetSlowdown stretches this thread's Compute durations by factor f
 // (e.g. 0.04 = 4% stolen by the OS).
 func (th *Thread) SetSlowdown(f float64) { th.slowdown = f }
 
 // Now reports the thread's current virtual time.
-func (th *Thread) Now() sim.Time { return th.P.Now() }
+func (th *Thread) Now() sim.Cycles { return th.P.Now() }
 
 // Read plays a load of addr in space sp through the memory system,
 // blocking the thread for the access latency.
@@ -182,13 +182,13 @@ func (th *Thread) ComputeCycles(n int64) {
 	if th.slowdown > 0 {
 		n = int64(float64(n) * (1 + th.slowdown))
 	}
-	th.Busy += sim.Time(n)
-	th.M.Trace.Record(th.P.Name(), trace.Busy, th.P.Now(), th.P.Now()+sim.Time(n))
-	th.P.Delay(sim.Time(n))
+	th.Busy += sim.Cycles(n)
+	th.M.Trace.Record(th.P.Name(), trace.Busy, th.P.Now(), th.P.Now()+sim.Cycles(n))
+	th.P.Delay(sim.Cycles(n))
 }
 
 // Delay blocks the thread for d cycles (uninstrumented time).
-func (th *Thread) Delay(d sim.Time) { th.P.Delay(d) }
+func (th *Thread) Delay(d sim.Cycles) { th.P.Delay(d) }
 
 // String identifies the thread.
 func (th *Thread) String() string {

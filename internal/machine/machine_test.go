@@ -48,7 +48,7 @@ func TestCustomParams(t *testing.T) {
 func TestThreadReadWriteAdvanceTime(t *testing.T) {
 	m := MustNew(Config{Hypernodes: 1})
 	sp := m.Alloc("x", topology.ThreadPrivate, 0, 0)
-	var missT, hitT sim.Time
+	var missT, hitT sim.Cycles
 	m.Spawn("t", topology.MakeCPU(0, 0, 0), func(th *Thread) {
 		t0 := th.Now()
 		th.Read(sp, 0)
@@ -60,14 +60,14 @@ func TestThreadReadWriteAdvanceTime(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if missT <= hitT || hitT != sim.Time(m.P.CacheHit) {
+	if missT <= hitT || hitT != sim.Cycles(m.P.CacheHit) {
 		t.Fatalf("miss %v, hit %v", missT, hitT)
 	}
 }
 
 func TestComputeSlowdown(t *testing.T) {
 	m := MustNew(Config{Hypernodes: 1})
-	var plain, slowed sim.Time
+	var plain, slowed sim.Cycles
 	m.Spawn("a", topology.MakeCPU(0, 0, 0), func(th *Thread) {
 		t0 := th.Now()
 		th.ComputeCycles(10000)
@@ -122,7 +122,7 @@ func TestInstrumentationCounters(t *testing.T) {
 
 func TestSpawnAtStartsLate(t *testing.T) {
 	m := MustNew(Config{Hypernodes: 1})
-	var started sim.Time
+	var started sim.Cycles
 	m.SpawnAt(sim.Micros(10), "late", topology.MakeCPU(0, 0, 1), func(th *Thread) {
 		started = th.Now()
 	})
@@ -147,10 +147,10 @@ func TestThreadString(t *testing.T) {
 }
 
 func TestDeterministicReplay(t *testing.T) {
-	run := func() sim.Time {
+	run := func() sim.Cycles {
 		m := MustNew(Config{Hypernodes: 2})
 		sp := m.Alloc("x", topology.FarShared, 0, 0)
-		var end sim.Time
+		var end sim.Cycles
 		for i := 0; i < 8; i++ {
 			i := i
 			m.Spawn("t", topology.CPUID(i*2), func(th *Thread) {

@@ -24,7 +24,7 @@ func benchAccess(b *testing.B, withCounters bool) {
 	}
 	sp := s.Alloc("bench", topology.NearShared, 0, 0)
 	cpu := topology.MakeCPU(0, 0, 0)
-	now := sim.Time(0)
+	now := sim.Cycles(0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -183,13 +183,13 @@ func (s *System) Directory(hn int) *directory.Directory { return s.dirs[hn] }
 // Invalidation records that a CPU's cached copy was killed at a time.
 type Invalidation struct {
 	CPU topology.CPUID
-	At  sim.Time
+	At  sim.Cycles
 }
 
 // Report describes one access: when it completed and whom it invalidated
 // (used by spin-wait modeling to release waiters at the right instants).
 type Report struct {
-	Done        sim.Time
+	Done        sim.Cycles
 	Invalidated []Invalidation
 	WasHit      bool
 	WasGlobal   bool
@@ -204,7 +204,7 @@ func (s *System) Home(sp topology.Space, addr topology.Addr, cpu topology.CPUID)
 // Access plays one load (write=false) or store (write=true) of the word
 // at addr in space sp by cpu, starting at now. All coherence state is
 // updated; the report carries the completion time.
-func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, addr topology.Addr, write bool) Report {
+func (s *System) Access(now sim.Cycles, cpu topology.CPUID, sp topology.Space, addr topology.Addr, write bool) Report {
 	if int(sp) >= len(s.spaces) {
 		panic(fmt.Sprintf("memsys: access to unallocated space %d", sp))
 	}
@@ -225,10 +225,10 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 			st.Hits++
 			s.ctr.hits.Inc()
 			c.Access(key, write)
-			return Report{Done: now + sim.Time(s.P.CacheHit), WasHit: true}
+			return Report{Done: now + sim.Cycles(s.P.CacheHit), WasHit: true}
 		}
 		// Write to a shared (clean) cached line: upgrade.
-		rep := s.acquireOwnership(now+sim.Time(s.P.CacheHit), cpu, key, home)
+		rep := s.acquireOwnership(now+sim.Cycles(s.P.CacheHit), cpu, key, home)
 		c.Access(key, true)
 		st.Hits++
 		st.StallCycles += int64(rep.Done - now)
@@ -245,7 +245,7 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 		// Dirty eviction: the home directory forgets us; the writeback
 		// itself is buffered and charged as fixed cycles.
 		s.dropEvicted(res.Evicted, cpu)
-		now += sim.Time(s.P.WriteBack)
+		now += sim.Cycles(s.P.WriteBack)
 	} else if res.HadEviction {
 		s.dropEvicted(res.Evicted, cpu)
 	}
@@ -287,13 +287,13 @@ func (s *System) Access(now sim.Time, cpu topology.CPUID, sp topology.Space, add
 // acquireOwnership upgrades a clean cached line to exclusive dirty:
 // invalidate the other local copies through the directory and purge any
 // remote hypernodes on the SCI list.
-func (s *System) acquireOwnership(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement) Report {
+func (s *System) acquireOwnership(now sim.Cycles, cpu topology.CPUID, key topology.LineKey, home topology.Placement) Report {
 	myHN := cpu.Hypernode()
 	rep := Report{}
-	t := now + sim.Time(s.P.DirLookup)
+	t := now + sim.Cycles(s.P.DirLookup)
 	acts := s.dirs[myHN].RecordWrite(key, cpu)
 	for _, victim := range acts.InvalidateLocal {
-		t += sim.Time(s.P.InvalPerCopy)
+		t += sim.Cycles(s.P.InvalPerCopy)
 		s.caches[victim].Invalidate(key)
 		s.Stats[victim].InvalsReceived++
 		rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
@@ -302,7 +302,7 @@ func (s *System) acquireOwnership(now sim.Time, cpu topology.CPUID, key topology
 	if home.Hypernode != myHN {
 		keep = myHN // our buffered copy stays, now exclusive
 		// The ownership request itself must reach the home's directory.
-		t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Time(s.P.CrossbarTransit))
+		t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Cycles(s.P.CrossbarTransit))
 		t = s.Rings.RoundTrip(t, s.ring(home.FU), myHN, home.Hypernode, topology.CacheLineBytes)
 	}
 	t = s.purgeRemote(t, myHN, s.ring(home.FU), key, keep, &rep)
@@ -310,7 +310,7 @@ func (s *System) acquireOwnership(now sim.Time, cpu topology.CPUID, key topology
 	// copies cached at the home itself.
 	if home.Hypernode != myHN {
 		for _, victim := range s.dirs[home.Hypernode].PurgeLine(key) {
-			t += sim.Time(s.P.InvalPerCopy)
+			t += sim.Cycles(s.P.InvalPerCopy)
 			s.caches[victim].Invalidate(key)
 			s.Stats[victim].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
@@ -327,22 +327,22 @@ func (s *System) dropEvicted(key topology.LineKey, cpu topology.CPUID) {
 }
 
 // localFill serves a miss whose home is in the requester's hypernode.
-func (s *System) localFill(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
+func (s *System) localFill(now sim.Cycles, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
 	myHN := cpu.Hypernode()
 	d := s.dirs[myHN]
 	rep := Report{}
-	t := now + sim.Time(s.P.DirLookup)
+	t := now + sim.Cycles(s.P.DirLookup)
 
 	if write {
 		acts := d.RecordWrite(key, cpu)
 		if acts.HasPreviousOwner {
-			t += sim.Time(s.P.WriteBack)
+			t += sim.Cycles(s.P.WriteBack)
 			s.caches[acts.PreviousOwner].Invalidate(key)
 			s.Stats[acts.PreviousOwner].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: acts.PreviousOwner, At: t})
 		}
 		for _, victim := range acts.InvalidateLocal {
-			t += sim.Time(s.P.InvalPerCopy)
+			t += sim.Cycles(s.P.InvalPerCopy)
 			s.caches[victim].Invalidate(key)
 			s.Stats[victim].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
@@ -352,20 +352,20 @@ func (s *System) localFill(now sim.Time, cpu topology.CPUID, key topology.LineKe
 	} else {
 		acts := d.RecordRead(key, cpu)
 		if acts.HasDirtyOwner {
-			t += sim.Time(s.P.WriteBack)
+			t += sim.Cycles(s.P.WriteBack)
 			s.caches[acts.DirtyOwner].Clean(key)
 		}
 	}
 
 	// Memory fetch: bank occupancy plus the latency of the path.
-	bankDone := s.banks[myHN][home.FU].Reserve(t, sim.Time(s.P.MemoryBankBusy))
-	queue := bankDone - t - sim.Time(s.P.MemoryBankBusy)
+	bankDone := s.banks[myHN][home.FU].Reserve(t, sim.Cycles(s.P.MemoryBankBusy))
+	queue := bankDone - t - sim.Cycles(s.P.MemoryBankBusy)
 	if home.FU == cpu.FU() {
-		t += sim.Time(s.P.LocalMiss) + queue
+		t += sim.Cycles(s.P.LocalMiss) + queue
 		s.Stats[cpu].LocalMisses++
 	} else {
-		t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Time(s.P.CrossbarTransit))
-		t += sim.Time(s.P.HypernodeMiss-s.P.CrossbarTransit) + queue
+		t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Cycles(s.P.CrossbarTransit))
+		t += sim.Cycles(s.P.HypernodeMiss-s.P.CrossbarTransit) + queue
 		s.Stats[cpu].HypernodeMisses++
 	}
 	rep.Done = t
@@ -374,22 +374,22 @@ func (s *System) localFill(now sim.Time, cpu topology.CPUID, key topology.LineKe
 
 // bufferFill serves a miss on a remotely-homed line already present in
 // this hypernode's global cache buffer: crossbar-cost service.
-func (s *System) bufferFill(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
+func (s *System) bufferFill(now sim.Cycles, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
 	myHN := cpu.Hypernode()
 	d := s.dirs[myHN]
 	rep := Report{}
-	t := now + sim.Time(s.P.DirLookup)
+	t := now + sim.Cycles(s.P.DirLookup)
 
 	if write {
 		acts := d.RecordWrite(key, cpu)
 		if acts.HasPreviousOwner {
-			t += sim.Time(s.P.WriteBack)
+			t += sim.Cycles(s.P.WriteBack)
 			s.caches[acts.PreviousOwner].Invalidate(key)
 			s.Stats[acts.PreviousOwner].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: acts.PreviousOwner, At: t})
 		}
 		for _, victim := range acts.InvalidateLocal {
-			t += sim.Time(s.P.InvalPerCopy)
+			t += sim.Cycles(s.P.InvalPerCopy)
 			s.caches[victim].Invalidate(key)
 			s.Stats[victim].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
@@ -400,7 +400,7 @@ func (s *System) bufferFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 		if victims := s.dirs[home.Hypernode].PurgeLine(key); len(victims) > 0 {
 			t = s.Rings.Send(t, s.ring(home.FU), myHN, home.Hypernode, topology.CacheLineBytes)
 			for _, victim := range victims {
-				t += sim.Time(s.P.InvalPerCopy)
+				t += sim.Cycles(s.P.InvalPerCopy)
 				s.caches[victim].Invalidate(key)
 				s.Stats[victim].InvalsReceived++
 				rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
@@ -409,21 +409,21 @@ func (s *System) bufferFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 	} else {
 		acts := d.RecordRead(key, cpu)
 		if acts.HasDirtyOwner {
-			t += sim.Time(s.P.WriteBack)
+			t += sim.Cycles(s.P.WriteBack)
 			s.caches[acts.DirtyOwner].Clean(key)
 		}
 	}
 
 	// The buffer lives in the FU attached to the home line's ring.
 	bufFU := home.FU
-	bankDone := s.banks[myHN][bufFU].Reserve(t, sim.Time(s.P.MemoryBankBusy))
-	queue := bankDone - t - sim.Time(s.P.MemoryBankBusy)
+	bankDone := s.banks[myHN][bufFU].Reserve(t, sim.Cycles(s.P.MemoryBankBusy))
+	queue := bankDone - t - sim.Cycles(s.P.MemoryBankBusy)
 	if bufFU == cpu.FU() {
-		t += sim.Time(s.P.LocalMiss) + queue
+		t += sim.Cycles(s.P.LocalMiss) + queue
 		s.Stats[cpu].LocalMisses++
 	} else {
-		t = s.crossbar(t, myHN, cpu.FU(), bufFU, sim.Time(s.P.CrossbarTransit))
-		t += sim.Time(s.P.HypernodeMiss-s.P.CrossbarTransit) + queue
+		t = s.crossbar(t, myHN, cpu.FU(), bufFU, sim.Cycles(s.P.CrossbarTransit))
+		t += sim.Cycles(s.P.HypernodeMiss-s.P.CrossbarTransit) + queue
 		s.Stats[cpu].HypernodeMisses++
 	}
 	rep.Done = t
@@ -433,26 +433,26 @@ func (s *System) bufferFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 // globalFill serves a miss that must cross the rings: crossbar to the
 // ring FU, SCI transaction to the home, install in the buffer, attach to
 // the sharing list.
-func (s *System) globalFill(now sim.Time, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
+func (s *System) globalFill(now sim.Cycles, cpu topology.CPUID, key topology.LineKey, home topology.Placement, write bool) Report {
 	myHN := cpu.Hypernode()
 	rep := Report{}
 	ringIdx := s.ring(home.FU) // FU i of every hypernode attaches to ring i
 
 	// Crossbar leg to the local FU on the right ring.
-	t := s.crossbar(now, myHN, cpu.FU(), ringIdx, sim.Time(s.P.CrossbarTransit))
+	t := s.crossbar(now, myHN, cpu.FU(), ringIdx, sim.Cycles(s.P.CrossbarTransit))
 
 	// Ring round trip: request out, line back.
 	t = s.Rings.RoundTrip(t, ringIdx, myHN, home.Hypernode, topology.CacheLineBytes)
-	t += sim.Time(s.P.RemoteDirLookup)
+	t += sim.Cycles(s.P.RemoteDirLookup)
 
 	// Remote memory bank service.
-	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Time(s.P.MemoryBankBusy))
-	t = bankDone - sim.Time(s.P.MemoryBankBusy) + sim.Time(s.P.LocalMiss)
+	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Cycles(s.P.MemoryBankBusy))
+	t = bankDone - sim.Cycles(s.P.MemoryBankBusy) + sim.Cycles(s.P.LocalMiss)
 
 	// If a CPU at the home hypernode holds the line dirty, the home
 	// controller intervenes before supplying it.
 	if owner, ok := s.dirs[home.Hypernode].Owner(key); ok {
-		t += sim.Time(s.P.WriteBack)
+		t += sim.Cycles(s.P.WriteBack)
 		if write {
 			s.dirs[home.Hypernode].PurgeLine(key)
 			s.caches[owner].Invalidate(key)
@@ -465,7 +465,7 @@ func (s *System) globalFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 	} else if write {
 		// Any clean copies at the home hypernode must also die.
 		for _, victim := range s.dirs[home.Hypernode].PurgeLine(key) {
-			t += sim.Time(s.P.InvalPerCopy)
+			t += sim.Cycles(s.P.InvalPerCopy)
 			s.caches[victim].Invalidate(key)
 			s.Stats[victim].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: victim, At: t})
@@ -474,7 +474,7 @@ func (s *System) globalFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 
 	// Install in the local global buffer and attach to the SCI list,
 	// rolling out the oldest buffered line if the buffer is full.
-	t += sim.Time(s.P.GlobalBufferFill)
+	t += sim.Cycles(s.P.GlobalBufferFill)
 	if s.SCI.Attach(key, home.Hypernode, myHN) == 0 {
 		s.bufferFIFO[myHN] = append(s.bufferFIFO[myHN], key)
 		t = s.evictIfFull(t, myHN, ringIdx)
@@ -489,7 +489,7 @@ func (s *System) globalFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 	}
 
 	// Crossbar leg back to the requesting CPU's FU.
-	t = s.crossbar(t, myHN, ringIdx, cpu.FU(), sim.Time(s.P.CrossbarTransit))
+	t = s.crossbar(t, myHN, ringIdx, cpu.FU(), sim.Cycles(s.P.CrossbarTransit))
 	rep.Done = t
 	return rep
 }
@@ -498,7 +498,7 @@ func (s *System) globalFill(now sim.Time, cpu topology.CPUID, key topology.LineK
 // global cache buffer until it is within capacity: the SCI sharing-list
 // detach costs a ring transaction, and any locally cached copies of the
 // victim die with it.
-func (s *System) evictIfFull(now sim.Time, hn, ringIdx int) sim.Time {
+func (s *System) evictIfFull(now sim.Cycles, hn, ringIdx int) sim.Cycles {
 	t := now
 	fifo := s.bufferFIFO[hn]
 	if len(fifo) <= s.bufferCap {
@@ -531,7 +531,7 @@ func (s *System) evictIfFull(now sim.Time, hn, ringIdx int) sim.Time {
 		live--
 		// SCI rollout: patch the sharing-list neighbours over the ring.
 		t = s.Rings.Send(t, ringIdx, hn, s.Home(victim.Space, topology.Addr(victim.Line*topology.CacheLineBytes), topology.MakeCPU(hn, 0, 0)).Hypernode, topology.CacheLineBytes)
-		t += sim.Time(s.P.SCIListVisit)
+		t += sim.Cycles(s.P.SCIListVisit)
 		for _, cpu := range s.dirs[hn].PurgeLine(victim) {
 			s.caches[cpu].Invalidate(victim)
 			s.Stats[cpu].InvalsReceived++
@@ -554,7 +554,7 @@ func (s *System) ring(fu int) int {
 // buffered copy (and any cached copies) in every hypernode except keep
 // (-1 purges all). The walk is serial, as SCI prescribes. Invalidation
 // times of remote CPUs are appended to rep.
-func (s *System) purgeRemote(now sim.Time, fromHN, ringIdx int, key topology.LineKey, keep int, rep *Report) sim.Time {
+func (s *System) purgeRemote(now sim.Cycles, fromHN, ringIdx int, key topology.LineKey, keep int, rep *Report) sim.Cycles {
 	var victims []int
 	if keep < 0 {
 		victims = s.SCI.Purge(key)
@@ -565,9 +565,9 @@ func (s *System) purgeRemote(now sim.Time, fromHN, ringIdx int, key topology.Lin
 	at := fromHN
 	for _, hn := range victims {
 		t = s.Rings.Send(t, ringIdx, at, hn, topology.CacheLineBytes)
-		t += sim.Time(s.P.SCIListVisit)
+		t += sim.Cycles(s.P.SCIListVisit)
 		for _, cpu := range s.dirs[hn].PurgeLine(key) {
-			t += sim.Time(s.P.InvalPerCopy)
+			t += sim.Cycles(s.P.InvalPerCopy)
 			s.caches[cpu].Invalidate(key)
 			s.Stats[cpu].InvalsReceived++
 			rep.Invalidated = append(rep.Invalidated, Invalidation{CPU: cpu, At: t})
@@ -578,7 +578,7 @@ func (s *System) purgeRemote(now sim.Time, fromHN, ringIdx int, key topology.Lin
 }
 
 // crossbar books a traversal between two FU ports of a hypernode.
-func (s *System) crossbar(now sim.Time, hn, srcFU, dstFU int, dur sim.Time) sim.Time {
+func (s *System) crossbar(now sim.Cycles, hn, srcFU, dstFU int, dur sim.Cycles) sim.Cycles {
 	return s.xbars[hn].Traverse(now, srcFU, dstFU, dur)
 }
 
@@ -588,22 +588,22 @@ func (s *System) Crossbar(hn int) *xbar.Crossbar { return s.xbars[hn] }
 // UncachedRMW models an atomic read-modify-write on an uncached cell
 // (the counting semaphores of the barrier primitive, paper §4.2): it
 // bypasses the caches and serializes at the home memory bank.
-func (s *System) UncachedRMW(now sim.Time, cpu topology.CPUID, sp topology.Space, addr topology.Addr) sim.Time {
+func (s *System) UncachedRMW(now sim.Cycles, cpu topology.CPUID, sp topology.Space, addr topology.Addr) sim.Cycles {
 	home := s.Home(sp, addr, cpu)
 	myHN := cpu.Hypernode()
-	var t sim.Time
+	var t sim.Cycles
 	if home.Hypernode == myHN {
 		t = now
 		if home.FU != cpu.FU() {
-			t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Time(s.P.CrossbarTransit))
+			t = s.crossbar(t, myHN, cpu.FU(), home.FU, sim.Cycles(s.P.CrossbarTransit))
 		}
 	} else {
 		ringIdx := s.ring(home.FU)
-		t = s.crossbar(now, myHN, cpu.FU(), ringIdx, sim.Time(s.P.CrossbarTransit))
+		t = s.crossbar(now, myHN, cpu.FU(), ringIdx, sim.Cycles(s.P.CrossbarTransit))
 		t = s.Rings.RoundTrip(t, ringIdx, myHN, home.Hypernode, topology.CacheLineBytes)
-		t += sim.Time(s.P.RemoteDirLookup)
+		t += sim.Cycles(s.P.RemoteDirLookup)
 	}
-	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Time(s.P.UncachedAccess))
+	bankDone := s.banks[home.Hypernode][home.FU].Reserve(t, sim.Cycles(s.P.UncachedAccess))
 	s.ctr.rmws.Inc()
 	s.ctr.rmwCycles.Add(int64(bankDone - now))
 	return bankDone

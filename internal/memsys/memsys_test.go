@@ -1,10 +1,10 @@
 package memsys
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"spp1000/internal/rng"
 	"spp1000/internal/sim"
 	"spp1000/internal/topology"
 )
@@ -24,7 +24,7 @@ func TestCacheHitIsOneCycle(t *testing.T) {
 	cpu := topology.MakeCPU(0, 0, 0)
 	s.Access(0, cpu, sp, 0, false) // cold miss
 	rep := s.Access(1000, cpu, sp, 0, false)
-	if !rep.WasHit || rep.Done != 1000+sim.Time(s.P.CacheHit) {
+	if !rep.WasHit || rep.Done != 1000+sim.Cycles(s.P.CacheHit) {
 		t.Fatalf("hit report = %+v", rep)
 	}
 }
@@ -127,7 +127,7 @@ func TestInvalidationTimesMonotone(t *testing.T) {
 		s.Access(0, c, sp, 0, false)
 	}
 	rep := s.Access(1000, 0, sp, 0, true)
-	var prev sim.Time
+	var prev sim.Cycles
 	for _, inv := range rep.Invalidated {
 		if inv.At < prev {
 			t.Fatalf("invalidation times not monotone: %+v", rep.Invalidated)
@@ -169,7 +169,7 @@ func TestUncachedRMWBypassesCache(t *testing.T) {
 	cpu := topology.MakeCPU(0, 0, 0)
 	t1 := s.UncachedRMW(0, cpu, sp, 0)
 	t2 := s.UncachedRMW(t1, cpu, sp, 0)
-	if t2-t1 < sim.Time(s.P.UncachedAccess) {
+	if t2-t1 < sim.Cycles(s.P.UncachedAccess) {
 		t.Fatalf("repeat RMW latency %v below bank service time", t2-t1)
 	}
 	if s.Cache(cpu).Contains(topology.LineKey{Space: sp, Line: 0}) {
@@ -233,7 +233,7 @@ func TestGlobalBufferCapacityEviction(t *testing.T) {
 	s.SetBufferCapacity(4)
 	remote := s.Alloc("remote", topology.NearShared, 1, 0)
 	cpu := topology.MakeCPU(0, 0, 0)
-	now := sim.Time(0)
+	now := sim.Cycles(0)
 	// Touch 8 distinct remote lines: the first 4 must roll out.
 	for i := 0; i < 8; i++ {
 		rep := s.Access(now, cpu, remote, topology.Addr(i*topology.CacheLineBytes), false)
@@ -282,7 +282,7 @@ func TestGlobalBufferCapacityEviction(t *testing.T) {
 // precede the start time.
 func TestCoherenceInvariantsUnderLoad(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rnd := rng.New(uint64(seed))
 		topo, _ := topology.New(2)
 		s := New(topo, topology.DefaultParams(), 64)
 		spaces := []topology.Space{
@@ -290,18 +290,18 @@ func TestCoherenceInvariantsUnderLoad(t *testing.T) {
 			s.Alloc("b", topology.NearShared, 1, 0),
 			s.Alloc("c", topology.FarShared, 0, 0),
 		}
-		now := sim.Time(0)
+		now := sim.Cycles(0)
 		for i := 0; i < 300; i++ {
-			cpu := topology.CPUID(rng.Intn(topo.NumCPUs()))
-			sp := spaces[rng.Intn(len(spaces))]
-			addr := topology.Addr(rng.Intn(16) * 32)
-			write := rng.Intn(3) == 0
+			cpu := topology.CPUID(rnd.Intn(topo.NumCPUs()))
+			sp := spaces[rnd.Intn(len(spaces))]
+			addr := topology.Addr(rnd.Intn(16) * 32)
+			write := rnd.Intn(3) == 0
 			rep := s.Access(now, cpu, sp, addr, write)
 			if rep.Done < now {
 				t.Logf("seed %d: completion %v before start %v", seed, rep.Done, now)
 				return false
 			}
-			now += sim.Time(rng.Intn(200))
+			now += sim.Cycles(rnd.Intn(200))
 			for hn := 0; hn < topo.Hypernodes; hn++ {
 				if err := s.Directory(hn).CheckInvariants(); err != nil {
 					t.Logf("seed %d step %d: %v", seed, i, err)
@@ -323,17 +323,17 @@ func TestCoherenceInvariantsUnderLoad(t *testing.T) {
 // Property: after a write completes, no other CPU's cache holds the line.
 func TestWriteExclusivityAcrossMachine(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rnd := rng.New(uint64(seed))
 		topo, _ := topology.New(2)
 		s := New(topo, topology.DefaultParams(), 64)
-		sp := s.Alloc("x", topology.NearShared, rng.Intn(2), 0)
-		addr := topology.Addr(rng.Intn(8) * 32)
+		sp := s.Alloc("x", topology.NearShared, rnd.Intn(2), 0)
+		addr := topology.Addr(rnd.Intn(8) * 32)
 		key := topology.LineKey{Space: sp, Line: addr.Line()}
 		// Random readers.
 		for i := 0; i < 10; i++ {
-			s.Access(0, topology.CPUID(rng.Intn(16)), sp, addr, false)
+			s.Access(0, topology.CPUID(rnd.Intn(16)), sp, addr, false)
 		}
-		writer := topology.CPUID(rng.Intn(16))
+		writer := topology.CPUID(rnd.Intn(16))
 		s.Access(10000, writer, sp, addr, true)
 		for c := 0; c < topo.NumCPUs(); c++ {
 			if topology.CPUID(c) == writer {

@@ -26,7 +26,7 @@ func newMachine(hypernodes int) (*machine.Machine, error) {
 }
 
 // ForkJoinCost measures one fork-join of n threads under the placement.
-func ForkJoinCost(hypernodes, n int, place threads.Placement) (sim.Time, error) {
+func ForkJoinCost(hypernodes, n int, place threads.Placement) (sim.Cycles, error) {
 	m, err := newMachine(hypernodes)
 	if err != nil {
 		return 0, err
@@ -39,7 +39,7 @@ func ForkJoinCost(hypernodes, n int, place threads.Placement) (sim.Time, error) 
 // point is an independent simulation on its own machine, so the points
 // are dispatched through the host worker pool and assembled in order.
 func ForkJoinSweep(hypernodes, maxThreads int) (highLocality, uniform *stats.Series, err error) {
-	type point struct{ hl, un sim.Time }
+	type point struct{ hl, un sim.Cycles }
 	pts, err := runner.Map(maxThreads, func(i int) (point, error) {
 		n := i + 1
 		hl, err := ForkJoinCost(hypernodes, n, threads.HighLocality)
@@ -68,7 +68,7 @@ func ForkJoinSweep(hypernodes, maxThreads int) (highLocality, uniform *stats.Ser
 // last-in/first-out and last-in/last-out times. Arrivals are staggered
 // so the last arrival is unambiguous, as in the paper's method of
 // timestamping entry and exit per thread.
-func BarrierCost(hypernodes, n int, place threads.Placement) (lifo, lilo sim.Time, err error) {
+func BarrierCost(hypernodes, n int, place threads.Placement) (lifo, lilo sim.Cycles, err error) {
 	m, err := newMachine(hypernodes)
 	if err != nil {
 		return 0, 0, err
@@ -81,7 +81,7 @@ func BarrierCost(hypernodes, n int, place threads.Placement) (lifo, lilo sim.Tim
 		// many runs, and the minimum corresponds to a releasing thread
 		// with a local fast path to the flag.
 		b.Wait(th)
-		th.Delay(sim.Time((n - 1 - tid) * 700))
+		th.Delay(sim.Cycles((n - 1 - tid) * 700))
 		b.Wait(th)
 	})
 	if err != nil {
@@ -100,7 +100,7 @@ func BarrierSweep(hypernodes, maxThreads int) ([]*stats.Series, error) {
 		{Name: "LIFO uniform"},
 		{Name: "LILO uniform"},
 	}
-	type point struct{ lifo, lilo [2]sim.Time }
+	type point struct{ lifo, lilo [2]sim.Cycles }
 	pts, err := runner.Map(maxThreads-1, func(i int) (point, error) {
 		n := i + 2
 		var pt point
@@ -129,7 +129,7 @@ func BarrierSweep(hypernodes, maxThreads int) ([]*stats.Series, error) {
 // MessageRoundTrip measures a PVM ping-pong of the given payload between
 // two CPUs of a two-hypernode machine. global selects a cross-hypernode
 // pair.
-func MessageRoundTrip(bytes int, global bool) (sim.Time, error) {
+func MessageRoundTrip(bytes int, global bool) (sim.Cycles, error) {
 	m, err := newMachine(2)
 	if err != nil {
 		return 0, err
@@ -140,7 +140,7 @@ func MessageRoundTrip(bytes int, global bool) (sim.Time, error) {
 	if global {
 		b = topology.MakeCPU(1, 0, 0)
 	}
-	var rt sim.Time
+	var rt sim.Cycles
 	ready := m.K.NewEvent("ready")
 	var ping, pong *pvm.Task
 	m.Spawn("ping", a, func(th *machine.Thread) {
@@ -176,7 +176,7 @@ func MessageSizes() []int {
 // message size for a local pair and a cross-hypernode pair.
 func MessageSweep() (local, global *stats.Series, err error) {
 	sizes := MessageSizes()
-	type point struct{ lt, gt sim.Time }
+	type point struct{ lt, gt sim.Cycles }
 	pts, err := runner.Map(len(sizes), func(i int) (point, error) {
 		lt, err := MessageRoundTrip(sizes[i], false)
 		if err != nil {
@@ -206,7 +206,7 @@ func MessageSweep() (local, global *stats.Series, err error) {
 // single-hypernode experiments "showed little degradation as message
 // traffic was increased appreciably"; this measures how far that holds
 // across the rings.
-func ContentionRoundTrip(bytes, pairs, rounds int, singleRing bool) (sim.Time, error) {
+func ContentionRoundTrip(bytes, pairs, rounds int, singleRing bool) (sim.Cycles, error) {
 	if pairs < 1 || pairs > 4 {
 		return 0, fmt.Errorf("microbench: pairs must be 1..4 (one per FU), got %d", pairs)
 	}
@@ -220,7 +220,7 @@ func ContentionRoundTrip(bytes, pairs, rounds int, singleRing bool) (sim.Time, e
 	reg := m.K.NewSemaphore("reg", 0)
 	pingTasks := make([]*pvm.Task, pairs)
 	pongTasks := make([]*pvm.Task, pairs)
-	var total sim.Time
+	var total sim.Cycles
 	done := m.K.NewSemaphore("done", 0)
 	for i := 0; i < pairs; i++ {
 		i := i
@@ -257,13 +257,13 @@ func ContentionRoundTrip(bytes, pairs, rounds int, singleRing bool) (sim.Time, e
 	if err := m.Run(); err != nil {
 		return 0, err
 	}
-	return total / sim.Time(pairs*rounds), nil
+	return total / sim.Cycles(pairs*rounds), nil
 }
 
 // ContentionSweep reports mean cross-hypernode RT vs. concurrent pairs,
 // with the architected four rings and with a hypothetical single ring.
 func ContentionSweep(bytes int) (four, one *stats.Series, err error) {
-	type point struct{ four, one sim.Time }
+	type point struct{ four, one sim.Cycles }
 	pts, err := runner.Map(4, func(i int) (point, error) {
 		pairs := i + 1
 		f, err := ContentionRoundTrip(bytes, pairs, 8, false)
@@ -312,7 +312,7 @@ func ClassLadder() (*stats.Table, error) {
 		{"far-shared", topology.FarShared},
 		{"block-shared (1 KB blocks)", topology.BlockShared},
 	}
-	now := sim.Time(0)
+	now := sim.Cycles(0)
 	for _, c := range classes {
 		sp := m.Alloc(c.name, c.class, 0, 1024)
 		r0 := m.Mem.Access(now, near0, sp, 0, false)

@@ -9,14 +9,14 @@ import (
 )
 
 // roundTrip measures a ping-pong of the given size between two CPUs.
-func roundTrip(t *testing.T, a, b topology.CPUID, bytes int) sim.Time {
+func roundTrip(t *testing.T, a, b topology.CPUID, bytes int) sim.Cycles {
 	t.Helper()
 	m, err := machine.New(machine.Config{Hypernodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys := NewSystem(m)
-	var rt sim.Time
+	var rt sim.Cycles
 	ready := m.K.NewEvent("ready")
 
 	var t0, t1 *Task

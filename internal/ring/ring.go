@@ -61,18 +61,18 @@ const LineSlotCycles = 5
 // TransitCycles reports the unloaded one-way transit time of a packet
 // from hypernode src to dst: injection/ejection handling plus per-hop
 // propagation. Payload beyond one cache line adds line-sized ring slots.
-func (n *Network) TransitCycles(src, dst, payloadBytes int) sim.Time {
+func (n *Network) TransitCycles(src, dst, payloadBytes int) sim.Cycles {
 	hops := n.topo.RingHops(src, dst)
 	lines := (payloadBytes + topology.CacheLineBytes - 1) / topology.CacheLineBytes
 	if lines < 1 {
 		lines = 1
 	}
-	return sim.Time(n.params.RingPacketFixed + int64(hops)*n.params.RingHop + int64(lines-1)*LineSlotCycles)
+	return sim.Cycles(n.params.RingPacketFixed + int64(hops)*n.params.RingHop + int64(lines-1)*LineSlotCycles)
 }
 
 // Send books a one-way packet on the given ring starting at now and
 // returns its arrival time, including queueing behind earlier packets.
-func (n *Network) Send(now sim.Time, ringIdx, src, dst, payloadBytes int) sim.Time {
+func (n *Network) Send(now sim.Cycles, ringIdx, src, dst, payloadBytes int) sim.Cycles {
 	transit := n.TransitCycles(src, dst, payloadBytes)
 	n.packets++
 	done := n.rings[ringIdx].Reserve(now, transit)
@@ -87,7 +87,7 @@ func (n *Network) Send(now sim.Time, ringIdx, src, dst, payloadBytes int) sim.Ti
 
 // RoundTrip books a request/response pair (request payloadBytes out,
 // one cache line back) and returns the completion time.
-func (n *Network) RoundTrip(now sim.Time, ringIdx, src, dst, payloadBytes int) sim.Time {
+func (n *Network) RoundTrip(now sim.Cycles, ringIdx, src, dst, payloadBytes int) sim.Cycles {
 	arrive := n.Send(now, ringIdx, src, dst, payloadBytes)
 	return n.Send(arrive, ringIdx, dst, src, topology.CacheLineBytes)
 }
@@ -96,7 +96,7 @@ func (n *Network) RoundTrip(now sim.Time, ringIdx, src, dst, payloadBytes int) s
 func (n *Network) Packets() int64 { return n.packets }
 
 // Busy reports accumulated service time on one ring.
-func (n *Network) Busy(ringIdx int) sim.Time { return n.rings[ringIdx].Busy() }
+func (n *Network) Busy(ringIdx int) sim.Cycles { return n.rings[ringIdx].Busy() }
 
 // Reset clears all ring horizons.
 func (n *Network) Reset() {

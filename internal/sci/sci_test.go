@@ -1,10 +1,10 @@
 package sci
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"spp1000/internal/rng"
 	"spp1000/internal/topology"
 )
 
@@ -152,21 +152,21 @@ func TestOutOfRangePanics(t *testing.T) {
 // Property: invariants hold under arbitrary attach/detach/purge sequences.
 func TestInvariantsUnderRandomOps(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rnd := rng.New(uint64(seed))
 		p := New(4)
 		keys := []topology.LineKey{
 			{Space: 1, Line: 1}, {Space: 1, Line: 2}, {Space: 2, Line: 7},
 		}
 		for i := 0; i < 300; i++ {
-			key := keys[rng.Intn(len(keys))]
-			hn := rng.Intn(4)
-			switch rng.Intn(4) {
+			key := keys[rnd.Intn(len(keys))]
+			hn := rnd.Intn(4)
+			switch rnd.Intn(4) {
 			case 0, 1:
 				p.Attach(key, 0, hn)
 			case 2:
 				p.Detach(key, hn)
 			case 3:
-				if rng.Intn(2) == 0 {
+				if rnd.Intn(2) == 0 {
 					p.Purge(key)
 				} else {
 					p.PurgeExcept(key, hn)

@@ -5,7 +5,6 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"time"
 
 	"spp1000/internal/sim"
 )
@@ -22,7 +21,7 @@ func simCycles() int64 { return sim.TotalCycles() }
 // host parallelism × cache hits all move it).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
-	uptime := time.Since(s.started).Seconds()
+	uptime := s.cfg.Now().Sub(s.started).Seconds()
 	cycles := simCycles() - s.startCycles
 	perSec := 0.0
 	if uptime > 0 {

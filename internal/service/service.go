@@ -63,6 +63,12 @@ type Config struct {
 	MaxJobs int
 	// Run executes a job. Default DefaultRun.
 	Run RunFunc
+	// Now supplies the wall-clock timestamps stamped onto job lifecycle
+	// views (submittedAt/startedAt/finishedAt) and the uptime metric.
+	// Injecting it here keeps the daemon's state machine free of direct
+	// clock reads — the wall clock enters at exactly one annotated spot
+	// in withDefaults — and lets tests pin time. Default time.Now.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +86,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Run == nil {
 		c.Run = DefaultRun
+	}
+	if c.Now == nil {
+		//simlint:allow determinism the daemon's single wall-clock source: lifecycle stamps and uptime, never job results or spec keys
+		c.Now = time.Now
 	}
 	return c
 }
@@ -161,7 +171,7 @@ func New(cfg Config) *Server {
 		cache:       resultcache.New(cfg.CacheCapacity),
 		jobs:        make(map[string]*job),
 		queue:       make(chan *job, cfg.QueueDepth),
-		started:     time.Now(),
+		started:     cfg.Now(),
 		startCycles: simCycles(),
 		sim:         counters.NewCollector(),
 	}
@@ -218,7 +228,7 @@ func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
 		j.cached = false
 		j.errMsg = ""
 		j.result = ""
-		j.submitted = time.Now()
+		j.submitted = s.cfg.Now()
 		j.started, j.finished = time.Time{}, time.Time{}
 		select {
 		case s.queue <- j:
@@ -231,7 +241,7 @@ func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
 		}
 	}
 
-	j := &job{id: key, spec: spec, submitted: time.Now()}
+	j := &job{id: key, spec: spec, submitted: s.cfg.Now()}
 	if res, ok := s.cache.Get(key); ok {
 		// Result known from an earlier (since-pruned) job: serve it
 		// without queueing anything.
@@ -293,7 +303,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = s.cfg.Now()
 	s.mu.Unlock()
 	s.runningN.Add(1)
 
@@ -314,7 +324,7 @@ func (s *Server) runJob(j *job) {
 	s.runningN.Add(-1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j.finished = time.Now()
+	j.finished = s.cfg.Now()
 	s.busyNanos.Add(int64(j.finished.Sub(j.started)))
 	switch {
 	case err == nil:
@@ -355,7 +365,7 @@ func (s *Server) Cancel(id string) (JobView, error) {
 	}
 	if j.status == StatusQueued {
 		j.status = StatusCanceled
-		j.finished = time.Now()
+		j.finished = s.cfg.Now()
 		j.errMsg = "canceled while queued"
 		s.canceled.Add(1)
 	}

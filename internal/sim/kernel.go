@@ -24,7 +24,7 @@ func TotalCycles() int64 { return totalCycles.Load() }
 // proc and leave fn nil: the kernel hands the baton straight to the
 // goroutine with no closure allocated and no intermediate call.
 type event struct {
-	at   Time
+	at   Cycles
 	seq  int64
 	proc *Proc  // fast path: resume this Proc directly
 	fn   func() // general callback, used when proc is nil
@@ -98,7 +98,7 @@ func (h eventHeap) down(i int) {
 // event queue. It owns a set of Procs (simulated threads); exactly one
 // goroutine — the kernel's or one Proc's — executes at any moment.
 type Kernel struct {
-	now    Time
+	now    Cycles
 	seq    int64
 	events eventHeap
 
@@ -108,7 +108,7 @@ type Kernel struct {
 	live    int // Procs spawned and not yet finished
 	blocked int // Procs parked on a waiter queue (not a timed event)
 
-	accounted Time // cycles already folded into totalCycles
+	accounted Cycles // cycles already folded into totalCycles
 
 	deadlock func() string // optional extra diagnostics on deadlock
 }
@@ -119,12 +119,12 @@ func NewKernel() *Kernel {
 }
 
 // Now reports the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
+func (k *Kernel) Now() Cycles { return k.now }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past is an error in the caller; it is clamped to "now" to keep the
 // clock monotonic.
-func (k *Kernel) At(t Time, fn func()) {
+func (k *Kernel) At(t Cycles, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
@@ -135,7 +135,7 @@ func (k *Kernel) At(t Time, fn func()) {
 // atProc schedules a direct resumption of p at absolute time t — the
 // timed-wake-up fast path. Equivalent to At(t, func() { resumeProc(p) })
 // but with no closure allocation and no indirect call in the event loop.
-func (k *Kernel) atProc(t Time, p *Proc) {
+func (k *Kernel) atProc(t Cycles, p *Proc) {
 	if t < k.now {
 		t = k.now
 	}
@@ -144,7 +144,7 @@ func (k *Kernel) atProc(t Time, p *Proc) {
 }
 
 // After schedules fn to run d cycles from now.
-func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+func (k *Kernel) After(d Cycles, fn func()) { k.At(k.now+d, fn) }
 
 // OnDeadlock registers a diagnostics callback invoked if the simulation
 // deadlocks (procs still live but no events pending).
@@ -176,7 +176,7 @@ func (k *Kernel) Run() error {
 
 // RunUntil executes events until the queue is empty or the clock would
 // pass t. The clock is left at min(t, time of last event executed).
-func (k *Kernel) RunUntil(t Time) error {
+func (k *Kernel) RunUntil(t Cycles) error {
 	for len(k.events) > 0 && k.events[0].at <= t {
 		e := k.events.pop()
 		k.now = e.at

@@ -1,10 +1,11 @@
 package sim
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"spp1000/internal/rng"
 )
 
 func TestTimeConversions(t *testing.T) {
@@ -358,17 +359,17 @@ func TestEventOrderProperty(t *testing.T) {
 // sum of their own delays, independent of interleaving.
 func TestProcIsolationProperty(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rnd := rng.New(uint64(seed))
 		k := NewKernel()
-		n := 2 + rng.Intn(6)
+		n := 2 + rnd.Intn(6)
 		want := make([]Time, n)
 		got := make([]Time, n)
 		for i := 0; i < n; i++ {
 			i := i
-			steps := 1 + rng.Intn(8)
+			steps := 1 + rnd.Intn(8)
 			delays := make([]Time, steps)
 			for j := range delays {
-				delays[j] = Time(rng.Intn(1000))
+				delays[j] = Time(rnd.Intn(1000))
 				want[i] += delays[j]
 			}
 			k.Spawn("p", func(p *Proc) {

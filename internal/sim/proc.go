@@ -17,6 +17,7 @@ type Proc struct {
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{}), state: "new"}
 	k.live++
+	//simlint:allow determinism Proc goroutines ARE the kernel's determinism mechanism: the baton handshake runs exactly one at a time
 	go func() {
 		<-p.resume // wait for the start event
 		p.state = "running"
@@ -30,9 +31,10 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 }
 
 // SpawnAt is Spawn but the body begins at absolute time t.
-func (k *Kernel) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
+func (k *Kernel) SpawnAt(t Cycles, name string, body func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{}), state: "new"}
 	k.live++
+	//simlint:allow determinism Proc goroutines ARE the kernel's determinism mechanism: the baton handshake runs exactly one at a time
 	go func() {
 		<-p.resume
 		p.state = "running"
@@ -52,7 +54,7 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Kernel() *Kernel { return p.k }
 
 // Now reports the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+func (p *Proc) Now() Cycles { return p.k.now }
 
 // park suspends the Proc until something calls unpark (via a scheduled
 // event). The baton returns to the kernel.
@@ -65,7 +67,7 @@ func (p *Proc) park(why string) {
 
 // unparkAt schedules the Proc to resume at absolute time t, on the
 // kernel's direct-resume fast path (no closure, no intermediate call).
-func (p *Proc) unparkAt(t Time) {
+func (p *Proc) unparkAt(t Cycles) {
 	p.k.atProc(t, p)
 }
 
@@ -74,7 +76,7 @@ func (p *Proc) unparkAt(t Time) {
 // clamped to zero — the virtual clock is monotonic, so the Proc cannot
 // travel backwards; a zero delay still yields, letting same-time events
 // interleave in deterministic scheduled order.
-func (p *Proc) Delay(d Time) {
+func (p *Proc) Delay(d Cycles) {
 	if d < 0 {
 		d = 0
 	}

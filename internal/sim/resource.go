@@ -9,14 +9,14 @@ package sim
 // and exact when requests are presented in timestamp order (which the
 // event kernel guarantees).
 type Resource struct {
-	freeAt Time
+	freeAt Cycles
 	// busy accumulates total service time, for utilization reporting.
-	busy Time
+	busy Cycles
 }
 
 // Reserve books dur cycles of service starting no earlier than now.
 // It returns the time at which service completes.
-func (r *Resource) Reserve(now, dur Time) (done Time) {
+func (r *Resource) Reserve(now, dur Cycles) (done Cycles) {
 	start := now
 	if r.freeAt > start {
 		start = r.freeAt
@@ -27,10 +27,10 @@ func (r *Resource) Reserve(now, dur Time) (done Time) {
 }
 
 // FreeAt reports the current busy horizon.
-func (r *Resource) FreeAt() Time { return r.freeAt }
+func (r *Resource) FreeAt() Cycles { return r.freeAt }
 
 // Busy reports the total service time booked so far.
-func (r *Resource) Busy() Time { return r.busy }
+func (r *Resource) Busy() Cycles { return r.busy }
 
 // Reset clears the horizon and accumulated utilization.
 func (r *Resource) Reset() { r.freeAt, r.busy = 0, 0 }

@@ -19,7 +19,7 @@ func (q *waitq) wait(p *Proc) {
 
 // wakeOne schedules the oldest waiter to resume at now+d.
 // It reports whether a waiter existed.
-func (q *waitq) wakeOne(k *Kernel, d Time) bool {
+func (q *waitq) wakeOne(k *Kernel, d Cycles) bool {
 	if len(q.waiters) == 0 {
 		return false
 	}
@@ -30,7 +30,7 @@ func (q *waitq) wakeOne(k *Kernel, d Time) bool {
 }
 
 // wakeAll schedules every waiter to resume at now+d, in FIFO order.
-func (q *waitq) wakeAll(k *Kernel, d Time) int {
+func (q *waitq) wakeAll(k *Kernel, d Cycles) int {
 	n := len(q.waiters)
 	for _, p := range q.waiters {
 		p.unparkAt(k.now + d)

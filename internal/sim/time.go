@@ -11,28 +11,38 @@ package sim
 
 import "fmt"
 
-// Time is a point in (or duration of) virtual time, in CPU cycles.
-// The simulated clock is 100 MHz, so one cycle is 10 ns and one
-// microsecond is 100 cycles.
-type Time int64
+// Cycles is a point in (or duration of) virtual time, in CPU cycles of
+// the simulated machine. The simulated clock is 100 MHz, so one cycle is
+// 10 ns and one microsecond is 100 cycles.
+//
+// Cycles is a distinct unit type on purpose: virtual time must never mix
+// with host wall-clock time (time.Duration, time.Time). The simtime
+// analyzer in internal/lint flags any conversion between Cycles and
+// time.Duration and any wall-clock type that appears inside a sim-core
+// package — see docs/LINT.md.
+type Cycles int64
+
+// Time is the legacy name of Cycles, kept as an alias so older call
+// sites keep compiling; new code should say Cycles.
+type Time = Cycles
 
 // CyclesPerMicro is the number of simulated cycles in one microsecond.
 const CyclesPerMicro = 100
 
 // Micros constructs a duration from microseconds.
-func Micros(us float64) Time { return Time(us * CyclesPerMicro) }
+func Micros(us float64) Cycles { return Cycles(us * CyclesPerMicro) }
 
 // Nanos constructs a duration from nanoseconds (rounded to cycles).
-func Nanos(ns float64) Time { return Time(ns / 10) }
+func Nanos(ns float64) Cycles { return Cycles(ns / 10) }
 
 // Micros reports the time in microseconds.
-func (t Time) Micros() float64 { return float64(t) / CyclesPerMicro }
+func (t Cycles) Micros() float64 { return float64(t) / CyclesPerMicro }
 
 // Seconds reports the time in seconds.
-func (t Time) Seconds() float64 { return float64(t) * 10e-9 }
+func (t Cycles) Seconds() float64 { return float64(t) * 10e-9 }
 
 // String formats the time with an adaptive unit.
-func (t Time) String() string {
+func (t Cycles) String() string {
 	switch {
 	case t < 100:
 		return fmt.Sprintf("%dcy", int64(t))

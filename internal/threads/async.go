@@ -23,13 +23,13 @@ func SpawnAsync(parent *machine.Thread, cpu topology.CPUID, name string, body fu
 	m := parent.M
 	p := m.P
 	if cpu.Hypernode() != parent.CPU.Hypernode() {
-		parent.Delay(sim.Time(p.ThreadSpawnRemote))
+		parent.Delay(sim.Cycles(p.ThreadSpawnRemote))
 	} else {
-		parent.Delay(sim.Time(p.ThreadSpawnLocal))
+		parent.Delay(sim.Cycles(p.ThreadSpawnLocal))
 	}
 	a := &Async{done: m.K.NewEvent(fmt.Sprintf("join:%s", name))}
 	a.Thread = m.SpawnAt(parent.Now(), name, cpu, func(th *machine.Thread) {
-		th.Delay(sim.Time(p.ThreadStart))
+		th.Delay(sim.Cycles(p.ThreadStart))
 		body(th)
 		a.done.Set()
 	})
@@ -42,7 +42,7 @@ func (a *Async) Join(parent *machine.Thread) {
 	t0, busy0, mem0 := parent.Now(), parent.Busy, parent.MemStall
 	a.done.Wait(parent.P)
 	parent.SyncWait += (parent.Now() - t0) - (parent.Busy - busy0) - (parent.MemStall - mem0)
-	parent.Delay(sim.Time(parent.M.P.JoinPerThread))
+	parent.Delay(sim.Cycles(parent.M.P.JoinPerThread))
 }
 
 // Done reports whether the thread has terminated (non-blocking).

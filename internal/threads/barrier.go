@@ -29,8 +29,8 @@ type Barrier struct {
 	arrived int
 	waiters []*waiter
 	// Exit timestamps of the most recent episode, for the Fig. 3 metrics.
-	lastEnter sim.Time
-	exits     []sim.Time
+	lastEnter sim.Cycles
+	exits     []sim.Cycles
 }
 
 type waiter struct {
@@ -96,7 +96,7 @@ func (b *Barrier) Wait(th *machine.Thread) {
 	// Release order follows invalidation order; each released spinner
 	// additionally pays the spin-detect plus the serialized line
 	// re-supply from the flag's home.
-	invAt := map[topology.CPUID]sim.Time{}
+	invAt := map[topology.CPUID]sim.Cycles{}
 	for _, inv := range rep.Invalidated {
 		invAt[inv.CPU] = inv.At
 	}
@@ -106,7 +106,7 @@ func (b *Barrier) Wait(th *machine.Thread) {
 	})
 	g.Counter("barrier_episodes").Inc()
 	g.Histogram("barrier_release").Observe(int64(len(ws)))
-	supply := sim.Time(0)
+	supply := sim.Cycles(0)
 	for _, w := range ws {
 		at, ok := invAt[w.th.CPU]
 		if !ok {
@@ -114,11 +114,11 @@ func (b *Barrier) Wait(th *machine.Thread) {
 			// it refetches as soon as the write completes.
 			at = rep.Done
 		}
-		release := at + sim.Time(p.SpinRefetch)
+		release := at + sim.Cycles(p.SpinRefetch)
 		if release < supply {
 			release = supply
 		}
-		release += sim.Time(p.SpinReleaseSerial)
+		release += sim.Cycles(p.SpinReleaseSerial)
 		supply = release
 		w := w
 		th.M.K.At(release, func() { w.sem.V() })
@@ -132,7 +132,7 @@ func (b *Barrier) Wait(th *machine.Thread) {
 // LastEpisode reports the Fig. 3 metrics of the most recent barrier
 // episode: the last-in/first-out and last-in/last-out durations.
 // Valid once every participant has exited.
-func (b *Barrier) LastEpisode() (lifo, lilo sim.Time) {
+func (b *Barrier) LastEpisode() (lifo, lilo sim.Cycles) {
 	if len(b.exits) == 0 {
 		return 0, 0
 	}

@@ -42,19 +42,19 @@ func ForkJoin(parent *machine.Thread, n int, place Placement, body func(th *mach
 		remote := cpu.Hypernode() != parent.CPU.Hypernode()
 		if remote && !crossed {
 			crossed = true
-			parent.Delay(sim.Time(p.RemoteRuntimeInit))
+			parent.Delay(sim.Cycles(p.RemoteRuntimeInit))
 			g.Counter("runtime_inits").Inc()
 		}
 		if remote {
-			parent.Delay(sim.Time(p.ThreadSpawnRemote))
+			parent.Delay(sim.Cycles(p.ThreadSpawnRemote))
 			g.Counter("spawn_remote").Inc()
 		} else {
-			parent.Delay(sim.Time(p.ThreadSpawnLocal))
+			parent.Delay(sim.Cycles(p.ThreadSpawnLocal))
 			g.Counter("spawn_local").Inc()
 		}
 		tid := tid
 		child := m.SpawnAt(parent.Now(), fmt.Sprintf("t%d", tid), cpu, func(th *machine.Thread) {
-			th.Delay(sim.Time(p.ThreadStart))
+			th.Delay(sim.Cycles(p.ThreadStart))
 			body(th, tid)
 			done.V()
 		})
@@ -67,7 +67,7 @@ func ForkJoin(parent *machine.Thread, n int, place Placement, body func(th *mach
 	for i := 0; i < n; i++ {
 		done.P(parent.P)
 	}
-	parent.Delay(sim.Time(int64(n) * p.JoinPerThread))
+	parent.Delay(sim.Cycles(int64(n) * p.JoinPerThread))
 	g.Counter("joins").Inc()
 	return children
 }
@@ -75,15 +75,15 @@ func ForkJoin(parent *machine.Thread, n int, place Placement, body func(th *mach
 // RunTeam is the common harness entry point: it builds the machine's
 // root thread on CPU 0, forks a team of n, and runs the simulation to
 // completion, returning the fork-to-join virtual duration.
-func RunTeam(m *machine.Machine, n int, place Placement, body func(th *machine.Thread, tid int)) (sim.Time, error) {
+func RunTeam(m *machine.Machine, n int, place Placement, body func(th *machine.Thread, tid int)) (sim.Cycles, error) {
 	elapsed, _, err := RunTeamThreads(m, n, place, body)
 	return elapsed, err
 }
 
 // RunTeamThreads is RunTeam but also returns the child Thread handles,
 // whose CXpa instrumentation counters survive the join.
-func RunTeamThreads(m *machine.Machine, n int, place Placement, body func(th *machine.Thread, tid int)) (sim.Time, []*machine.Thread, error) {
-	var elapsed sim.Time
+func RunTeamThreads(m *machine.Machine, n int, place Placement, body func(th *machine.Thread, tid int)) (sim.Cycles, []*machine.Thread, error) {
+	var elapsed sim.Cycles
 	var children []*machine.Thread
 	m.Spawn("main", topology.MakeCPU(0, 0, 0), func(parent *machine.Thread) {
 		start := parent.Now()

@@ -46,7 +46,7 @@ func NewPool(m *machine.Machine, n int, place Placement) *Pool {
 		q := m.K.NewQueue(fmt.Sprintf("pool.work%d", tid))
 		p.work = append(p.work, q)
 		th := m.Spawn(fmt.Sprintf("w%d", tid), cpu, func(th *machine.Thread) {
-			th.Delay(sim.Time(m.P.ThreadStart))
+			th.Delay(sim.Cycles(m.P.ThreadStart))
 			for {
 				job := q.Get(th.P).(poolJob)
 				if job.body == nil {

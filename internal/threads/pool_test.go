@@ -33,7 +33,7 @@ func TestPoolRunsRegions(t *testing.T) {
 
 func TestPoolRegionWaitsForAll(t *testing.T) {
 	m := twoNode(t)
-	var slowest sim.Time
+	var slowest sim.Cycles
 	m.Spawn("main", topology.MakeCPU(0, 0, 0), func(main *machine.Thread) {
 		p := NewPool(m, 4, HighLocality)
 		p.Region(main, func(th *machine.Thread, tid int) {
@@ -59,7 +59,7 @@ func TestPoolAmortizesSpawnCost(t *testing.T) {
 	body := func(th *machine.Thread, tid int) { th.ComputeCycles(500) }
 
 	m1 := twoNode(t)
-	var forkTotal sim.Time
+	var forkTotal sim.Cycles
 	m1.Spawn("main", topology.MakeCPU(0, 0, 0), func(main *machine.Thread) {
 		start := main.Now()
 		for r := 0; r < regions; r++ {
@@ -72,7 +72,7 @@ func TestPoolAmortizesSpawnCost(t *testing.T) {
 	}
 
 	m2 := twoNode(t)
-	var poolTotal sim.Time
+	var poolTotal sim.Cycles
 	m2.Spawn("main", topology.MakeCPU(0, 0, 0), func(main *machine.Thread) {
 		p := NewPool(m2, 16, HighLocality)
 		start := main.Now()

@@ -81,7 +81,7 @@ func TestForkJoinRunsAllBodies(t *testing.T) {
 func TestForkJoinLocalSlope(t *testing.T) {
 	// Fig. 2: within one hypernode, each extra pair of threads costs
 	// ≈10 µs.
-	cost := func(n int) sim.Time {
+	cost := func(n int) sim.Cycles {
 		m := twoNode(t)
 		el, err := RunTeam(m, n, HighLocality, func(th *machine.Thread, tid int) {})
 		if err != nil {
@@ -97,7 +97,7 @@ func TestForkJoinLocalSlope(t *testing.T) {
 
 func TestForkJoinHypernodeBoundaryStep(t *testing.T) {
 	// Fig. 2: ≈50 µs one-time penalty once a second hypernode is used.
-	cost := func(n int) sim.Time {
+	cost := func(n int) sim.Cycles {
 		m := twoNode(t)
 		el, err := RunTeam(m, n, HighLocality, func(th *machine.Thread, tid int) {})
 		if err != nil {
@@ -113,7 +113,7 @@ func TestForkJoinHypernodeBoundaryStep(t *testing.T) {
 }
 
 func TestForkJoinUniformCostsMore(t *testing.T) {
-	run := func(place Placement) sim.Time {
+	run := func(place Placement) sim.Cycles {
 		m := twoNode(t)
 		el, err := RunTeam(m, 8, place, func(th *machine.Thread, tid int) {})
 		if err != nil {
@@ -129,10 +129,10 @@ func TestForkJoinUniformCostsMore(t *testing.T) {
 func TestBarrierReleasesEveryone(t *testing.T) {
 	m := twoNode(t)
 	b := NewBarrier(m, 8, 0)
-	after := make([]sim.Time, 8)
+	after := make([]sim.Cycles, 8)
 	_, err := RunTeam(m, 8, HighLocality, func(th *machine.Thread, tid int) {
 		// Stagger arrivals.
-		th.Delay(sim.Time(tid * 100))
+		th.Delay(sim.Cycles(tid * 100))
 		b.Wait(th)
 		after[tid] = th.Now()
 	})
@@ -140,7 +140,7 @@ func TestBarrierReleasesEveryone(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Everyone exits at or after the last arrival.
-	var latestArrival sim.Time
+	var latestArrival sim.Cycles
 	for _, at := range after {
 		if at == 0 {
 			t.Fatal("a thread never exited the barrier")
@@ -156,7 +156,7 @@ func TestBarrierLIFOLocalRange(t *testing.T) {
 	m := twoNode(t)
 	b := NewBarrier(m, 8, 0)
 	_, err := RunTeam(m, 8, HighLocality, func(th *machine.Thread, tid int) {
-		th.Delay(sim.Time(tid * 500))
+		th.Delay(sim.Cycles(tid * 500))
 		b.Wait(th)
 	})
 	if err != nil {
@@ -177,12 +177,12 @@ func TestBarrierLIFOLocalRange(t *testing.T) {
 }
 
 func TestBarrierCrossHypernodePenalty(t *testing.T) {
-	lifoFor := func(n int, place Placement) sim.Time {
+	lifoFor := func(n int, place Placement) sim.Cycles {
 		m := twoNode(t)
 		b := NewBarrier(m, n, 0)
 		_, err := RunTeam(m, n, place, func(th *machine.Thread, tid int) {
 			b.Wait(th) // align arrivals (warm episode)
-			th.Delay(sim.Time((n - 1 - tid) * 700))
+			th.Delay(sim.Cycles((n - 1 - tid) * 700))
 			b.Wait(th)
 		})
 		if err != nil {
@@ -250,7 +250,7 @@ func TestGateMutualExclusion(t *testing.T) {
 
 func TestAsyncThreadsOverlapParent(t *testing.T) {
 	m := twoNode(t)
-	var childEnd, parentMark sim.Time
+	var childEnd, parentMark sim.Cycles
 	m.Spawn("parent", topology.MakeCPU(0, 0, 0), func(parent *machine.Thread) {
 		a := SpawnAsync(parent, topology.MakeCPU(0, 1, 0), "child", func(th *machine.Thread) {
 			th.ComputeCycles(100_000)
@@ -280,7 +280,7 @@ func TestAsyncThreadsOverlapParent(t *testing.T) {
 
 func TestAsyncRemoteSpawnCostsMore(t *testing.T) {
 	m := twoNode(t)
-	var localCost, remoteCost sim.Time
+	var localCost, remoteCost sim.Cycles
 	m.Spawn("parent", topology.MakeCPU(0, 0, 0), func(parent *machine.Thread) {
 		t0 := parent.Now()
 		a := SpawnAsync(parent, topology.MakeCPU(0, 1, 0), "l", func(th *machine.Thread) {})
@@ -300,7 +300,7 @@ func TestAsyncRemoteSpawnCostsMore(t *testing.T) {
 }
 
 func TestOSIntrusionOnSaturatedMachine(t *testing.T) {
-	elapsed := func(n int) sim.Time {
+	elapsed := func(n int) sim.Cycles {
 		m := twoNode(t)
 		el, err := RunTeam(m, n, HighLocality, func(th *machine.Thread, tid int) {
 			th.ComputeCycles(1_000_000)

@@ -34,8 +34,8 @@ const (
 type Interval struct {
 	Lane  string
 	State State
-	From  sim.Time
-	To    sim.Time
+	From  sim.Cycles
+	To    sim.Cycles
 }
 
 // Recorder accumulates intervals. The zero value is ready to use; a nil
@@ -49,7 +49,7 @@ type Recorder struct {
 func New() *Recorder { return &Recorder{} }
 
 // Record adds one interval (ignored on a nil recorder or when to ≤ from).
-func (r *Recorder) Record(lane string, st State, from, to sim.Time) {
+func (r *Recorder) Record(lane string, st State, from, to sim.Cycles) {
 	if r == nil || to <= from {
 		return
 	}
@@ -65,7 +65,7 @@ func (r *Recorder) Len() int {
 }
 
 // Span reports the earliest and latest recorded instants.
-func (r *Recorder) Span() (from, to sim.Time) {
+func (r *Recorder) Span() (from, to sim.Cycles) {
 	if r == nil || len(r.intervals) == 0 {
 		return 0, 0
 	}
@@ -98,15 +98,15 @@ func (r *Recorder) Lanes() []string {
 }
 
 // Totals sums the time per (lane, state).
-func (r *Recorder) Totals() map[string]map[State]sim.Time {
-	out := map[string]map[State]sim.Time{}
+func (r *Recorder) Totals() map[string]map[State]sim.Cycles {
+	out := map[string]map[State]sim.Cycles{}
 	if r == nil {
 		return out
 	}
 	for _, iv := range r.intervals {
 		m := out[iv.Lane]
 		if m == nil {
-			m = map[State]sim.Time{}
+			m = map[State]sim.Cycles{}
 			out[iv.Lane] = m
 		}
 		m[iv.State] += iv.To - iv.From
@@ -153,12 +153,12 @@ func (r *Recorder) Render(title string, width int) string {
 	}
 
 	// Per-lane per-bucket occupancy.
-	type cell map[State]sim.Time
+	type cell map[State]sim.Cycles
 	rows := map[string][]cell{}
 	for _, l := range lanes {
 		rows[l] = make([]cell, width)
 	}
-	bucket := func(t sim.Time) int {
+	bucket := func(t sim.Cycles) int {
 		b := int(int64(t-t0) * int64(width) / int64(span))
 		if b >= width {
 			b = width - 1
@@ -173,8 +173,8 @@ func (r *Recorder) Render(title string, width int) string {
 		b0, b1 := bucket(iv.From), bucket(iv.To-1)
 		for b := b0; b <= b1; b++ {
 			// Overlap of the interval with bucket b.
-			bStart := t0 + sim.Time(int64(span)*int64(b)/int64(width))
-			bEnd := t0 + sim.Time(int64(span)*int64(b+1)/int64(width))
+			bStart := t0 + sim.Cycles(int64(span)*int64(b)/int64(width))
+			bEnd := t0 + sim.Cycles(int64(span)*int64(b+1)/int64(width))
 			lo, hi := iv.From, iv.To
 			if bStart > lo {
 				lo = bStart
@@ -199,9 +199,11 @@ func (r *Recorder) Render(title string, width int) string {
 		line := make([]byte, width)
 		for b, c := range rows[l] {
 			ch := byte(' ')
-			var best sim.Time
-			for st, d := range c {
-				if d > best {
+			var best sim.Cycles
+			// Fixed priority order so equal occupancies render the same
+			// character on every run (map iteration order would not).
+			for _, st := range [...]State{Busy, Mem, Sync} {
+				if d := c[st]; d > best {
 					best = d
 					ch = byte(st)
 				}

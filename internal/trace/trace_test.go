@@ -94,7 +94,7 @@ func TestRenderMajorityWinsWithinBucket(t *testing.T) {
 	if !strings.Contains(out, "#######===") {
 		t.Fatalf("bucket majority wrong:\n%s", out)
 	}
-	_ = sim.Time(0)
+	_ = sim.Cycles(0)
 }
 
 func TestRenderClampsTinyWidth(t *testing.T) {

@@ -49,7 +49,7 @@ func New() *Crossbar { return &Crossbar{} }
 // Traverse books a transfer from port src to port dst starting at now,
 // occupying both ports for dur cycles. It returns the completion time,
 // which includes any queueing delay behind earlier traffic.
-func (x *Crossbar) Traverse(now sim.Time, src, dst int, dur sim.Time) sim.Time {
+func (x *Crossbar) Traverse(now sim.Cycles, src, dst int, dur sim.Cycles) sim.Cycles {
 	if src == dst {
 		return now + dur
 	}
@@ -75,7 +75,7 @@ func (x *Crossbar) Traverse(now sim.Time, src, dst int, dur sim.Time) sim.Time {
 func (x *Crossbar) Transfers() int64 { return x.transfers }
 
 // PortBusy reports the accumulated service time of a port.
-func (x *Crossbar) PortBusy(port int) sim.Time { return x.ports[port].Busy() }
+func (x *Crossbar) PortBusy(port int) sim.Cycles { return x.ports[port].Busy() }
 
 // Reset clears all port horizons.
 func (x *Crossbar) Reset() {

@@ -66,5 +66,5 @@ func TestReset(t *testing.T) {
 	if x.Transfers() != 1 {
 		t.Fatal("reset should clear the transfer count")
 	}
-	_ = sim.Time(0)
+	_ = sim.Cycles(0)
 }
