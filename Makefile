@@ -5,14 +5,14 @@ GO ?= go
 # PR-numbered benchmark artifact (bump per PR to track the trajectory).
 BENCH_JSON ?= BENCH_4.json
 
-.PHONY: all verify build test race bench vet doc lint cover reproduce quick serve examples clean
+.PHONY: all verify build test race bench vet doc lint cover faultmatrix reproduce quick serve examples clean
 
 all: build vet lint test race
 
 # Tier-1 verification chain: compile, static checks, doc coverage,
-# simulator invariants, tests, race tests.
+# simulator invariants, tests, race tests, and the fault matrix.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix
 
 # Fail on undocumented exported symbols of the core packages
 # (internal/sim, internal/trace, internal/runner, internal/counters,
@@ -49,6 +49,13 @@ bench:
 
 cover:
 	$(GO) test -cover ./...
+
+# The robustness gate: fault-injected runs (timeouts, failing and
+# stalled runs, torn store writes, kill-and-restart) plus the durable
+# store's corruption-recovery tests, all under the race detector.
+faultmatrix:
+	$(GO) test -race -run 'TestFaultInjected|TestJobTimeout|TestPerRequestTimeout|TestKillAndRestart|TestTornStoreWrite|TestMetricsReconcile' ./internal/service
+	$(GO) test -race ./internal/store ./internal/faultinject
 
 # Regenerate every table and figure at paper scale (≈1 minute).
 reproduce:

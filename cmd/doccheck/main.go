@@ -34,6 +34,8 @@ var defaultPackages = []string{
 	"internal/counters",
 	"internal/lint",
 	"internal/lint/linttest",
+	"internal/store",
+	"internal/faultinject",
 }
 
 func main() {

@@ -1,5 +1,6 @@
 // Command simlint runs the repo's invariant analyzers (internal/lint)
-// over the module: determinism, simtime, counterhandle, and ctxflow.
+// over the module: determinism, simtime, counterhandle, ctxflow, and
+// deps.
 // It is the multichecker `make lint` and `make verify` invoke after
 // `go vet`.
 //

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	sppctl submit -exp fig6,tab2 [-quick] [-seed 7] [-wait]
+//	sppctl submit -exp fig6,tab2 [-quick] [-seed 7] [-timeout 5m] [-wait]
 //	sppctl status <job-id>
 //	sppctl result <job-id>
 //	sppctl watch  <job-id>          # poll until finished, print result
@@ -15,13 +15,21 @@
 // deduplicated server-side: submit prints the job's content-address id,
 // and a repeat submit of the same configuration returns instantly with
 // the cached result available.
+//
+// Requests that fail to connect or are answered 503 (queue full,
+// daemon draining) are retried with exponential backoff plus jitter,
+// up to -retries attempts — every operation is safe to repeat because
+// jobs are content-addressed: resubmitting a spec can only rejoin the
+// same job, never start a second run.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -46,12 +54,16 @@ func usage() {
 
 func main() {
 	addr := flag.String("addr", defaultAddr(), "sppd base URL (or $SPPD_ADDR)")
+	retries := flag.Int("retries", 4, "retries after a connection error or 503, with exponential backoff + jitter (0 = fail fast)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	if *retries < 0 {
+		*retries = 0
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), retries: *retries}
 
 	var err error
 	switch cmd, rest := args[0], args[1:]; cmd {
@@ -78,10 +90,59 @@ func main() {
 	}
 }
 
-type client struct{ base string }
+type client struct {
+	base    string
+	retries int
+}
 
-func (c *client) do(method, path string, body io.Reader) (*http.Response, []byte, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
+// retryBase is the first backoff delay; each retry doubles it (capped
+// at retryMax) and jitters the result by ±50% so a fleet of clients
+// retrying against an overloaded daemon spreads out instead of
+// stampeding in lockstep.
+const (
+	retryBase = 200 * time.Millisecond
+	retryMax  = 5 * time.Second
+)
+
+// do issues one API request, retrying connection errors and 503s (the
+// daemon's overload/draining answer) with exponential backoff + jitter.
+// body is bytes, not a Reader, so every attempt resends the same
+// payload; retrying a submit is safe because jobs are content-addressed
+// (a repeat can only rejoin the same job).
+func (c *client) do(method, path string, body []byte) (*http.Response, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, data, err := c.doOnce(method, path, body)
+		retryable := err != nil || resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.retries {
+			return resp, data, err
+		}
+		delay := backoff(attempt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sppctl: %v; retrying in %v (%d/%d)\n", err, delay, attempt+1, c.retries)
+		} else {
+			fmt.Fprintf(os.Stderr, "sppctl: %s (%s); retrying in %v (%d/%d)\n",
+				resp.Status, strings.TrimSpace(string(data)), delay, attempt+1, c.retries)
+		}
+		time.Sleep(delay)
+	}
+}
+
+// backoff computes the jittered exponential delay for one retry.
+func backoff(attempt int) time.Duration {
+	d := retryBase << attempt
+	if d > retryMax {
+		d = retryMax
+	}
+	// ±50% jitter: [d/2, 3d/2).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+func (c *client) doOnce(method, path string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -130,8 +191,13 @@ func (c *client) submit(args []string) error {
 	appSteps := fs.Int("appsteps", 0, "override app steps (0 = option default)")
 	nbodySample := fs.Int("nbodysample", 0, "override N-body sample (0 = option default)")
 	nbodySizes := fs.String("nbodysizes", "", "override N-body sizes, comma-separated")
+	timeout := fs.Duration("timeout", 0, "per-job execution deadline (0 = daemon default); expired jobs report status timeout")
 	wait := fs.Bool("wait", false, "block until the job finishes and print the result")
 	fs.Parse(args)
+
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", *timeout)
+	}
 
 	names, err := experiments.ResolveNames(*exp)
 	if err != nil {
@@ -165,11 +231,15 @@ func (c *client) submit(args []string) error {
 		opts.NBodySizes = sizes
 	}
 
-	body, err := json.Marshal(map[string]any{"experiments": names, "options": opts})
+	req := map[string]any{"experiments": names, "options": opts}
+	if *timeout > 0 {
+		req["timeout"] = timeout.String()
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, data, err := c.do(http.MethodPost, "/v1/jobs", strings.NewReader(string(body)))
+	resp, data, err := c.do(http.MethodPost, "/v1/jobs", body)
 	if err != nil {
 		return err
 	}

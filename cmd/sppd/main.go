@@ -9,6 +9,8 @@
 //	sppd                          # listen on :8177
 //	sppd -addr :9000 -queue 128   # custom port, deeper queue
 //	sppd -jobs 2 -par 4           # 2 concurrent jobs, 4 host workers each
+//	sppd -store /var/lib/sppd     # durable results: survive restarts
+//	sppd -job-timeout 10m         # default per-job execution deadline
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result],
 // DELETE /v1/jobs/{id}, GET /metrics, GET /healthz. See docs/SERVICE.md.
@@ -30,6 +32,7 @@ import (
 
 	"spp1000/internal/runner"
 	"spp1000/internal/service"
+	"spp1000/internal/store"
 )
 
 func main() {
@@ -38,6 +41,9 @@ func main() {
 	jobs := flag.Int("jobs", 1, "jobs executed concurrently")
 	par := flag.Int("par", 0, "host workers per job for independent simulations (0 = all cores)")
 	cacheCap := flag.Int("cache", 256, "completed results kept for reuse (<0 = unbounded)")
+	storeDir := flag.String("store", "", "durable result store directory (empty = memory only; results then die with the process)")
+	storeCap := flag.Int("store-cap", 4096, "durable store entries kept, oldest evicted (<=0 = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job execution deadline (0 = none; submissions may override)")
 	drain := flag.Duration("drain", 5*time.Minute, "max time to drain jobs on shutdown")
 	flag.Parse()
 
@@ -45,13 +51,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sppd: -par must be >= 0 (got %d)\n", *par)
 		os.Exit(2)
 	}
+	if *jobTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "sppd: -job-timeout must be >= 0 (got %v)\n", *jobTimeout)
+		os.Exit(2)
+	}
 	runner.SetWorkers(*par)
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		QueueDepth:    *queue,
 		Workers:       *jobs,
 		CacheCapacity: *cacheCap,
-	})
+		JobTimeout:    *jobTimeout,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeCap)
+		if err != nil {
+			log.Fatalf("sppd: %v", err)
+		}
+		log.Printf("sppd: durable store %s (%d prior results)", st.Dir(), st.Len())
+		cfg.Store = st
+	}
+	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)

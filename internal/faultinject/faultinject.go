@@ -1,0 +1,97 @@
+// Package faultinject is the test-only hook layer behind the service's
+// fault-matrix suite. Production code marks its failure-prone sites
+// (running a job, persisting a result) with a Fire call naming a Point;
+// tests Arm a Hook at that point to inject delays, errors, or torn
+// writes and then prove the daemon degrades gracefully. When nothing is
+// armed — the only state production ever sees — Fire is a single atomic
+// load and returns nil, so the hooks cost nothing on the hot path and
+// cannot perturb the deterministic simulation.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Point names one injectable site in production code. Sites are
+// compiled in permanently; they do nothing until a test arms them.
+type Point string
+
+// The injectable sites. Each constant documents where its Fire call
+// lives and what the hook receives.
+const (
+	// RunStart fires in the service worker inside the result-cache
+	// compute function, immediately before a job's RunFunc executes.
+	// Arg: the job id. A hook that blocks injects a slow run (filling
+	// the bounded queue behind it); a hook that returns an error makes
+	// the run fail.
+	RunStart Point = "service.run.start"
+
+	// StoreWrite fires in store.Put after the payload is written to the
+	// temp file and before the atomic rename. Arg: the temp file path.
+	// A hook that truncates or scribbles on the file simulates a torn
+	// write that survives the rename; a returned error fails the Put.
+	StoreWrite Point = "store.write"
+
+	// StoreRead fires in store.Get before the entry file is read.
+	// Arg: the entry file path. A returned error fails the read.
+	StoreRead Point = "store.read"
+)
+
+// Hook is the test-side handler armed at a Point. args identify the
+// site instance (job id, file path — see the Point's doc). A non-nil
+// error makes the production site fail with it.
+type Hook func(args ...string) error
+
+var (
+	armed atomic.Int32 // number of armed points: the Fire fast-path gate
+	mu    sync.Mutex
+	hooks = map[Point]Hook{}
+)
+
+// Fire invokes the hook armed at p, if any. With nothing armed anywhere
+// it is one atomic load and returns nil, so production builds pay
+// nothing for the sites they carry.
+func Fire(p Point, args ...string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	h := hooks[p]
+	mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h(args...)
+}
+
+// Arm installs h at p and returns a disarm func (idempotent; call it
+// from t.Cleanup). Arming an already-armed point panics: overlapping
+// hooks in parallel tests would silently shadow each other, so the
+// fault-matrix tests that arm hooks must not run in parallel.
+func Arm(p Point, h Hook) (disarm func()) {
+	if h == nil {
+		panic("faultinject: Arm with nil hook")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := hooks[p]; dup {
+		panic(fmt.Sprintf("faultinject: point %q already armed", p))
+	}
+	hooks[p] = h
+	armed.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			mu.Lock()
+			defer mu.Unlock()
+			delete(hooks, p)
+			armed.Add(-1)
+		})
+	}
+}
+
+// Armed reports whether any point currently has a hook, for tests that
+// assert the world was restored after a disarm.
+func Armed() bool { return armed.Load() > 0 }

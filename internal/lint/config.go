@@ -75,7 +75,34 @@ var HostPackages = []string{
 	"internal/runner",
 	"internal/service",
 	"internal/resultcache",
+	"internal/store",
+	"internal/faultinject",
 	"internal/lint",
+}
+
+// SimIndependentPackages lists the module-relative import paths (each
+// covering its subtree) that the deps analyzer keeps free of sim-core
+// imports: durable/host infrastructure that must never depend on the
+// simulation kernel. They are also ClassHost (listed above), so the
+// host-class invariants apply on top of the import ban.
+var SimIndependentPackages = []string{
+	"internal/store",
+	"internal/faultinject",
+}
+
+// SimIndependent reports whether the full import path is one of the
+// SimIndependentPackages (or in their subtrees).
+func SimIndependent(pkgPath string) bool {
+	rel, ok := strings.CutPrefix(pkgPath, ModulePath+"/")
+	if !ok {
+		return false
+	}
+	for _, p := range SimIndependentPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // Classify maps a full import path to its Class. Packages outside the

@@ -1,0 +1,37 @@
+package lint
+
+import "strconv"
+
+// Deps enforces the sim-independence of the durable infrastructure
+// packages listed in SimIndependentPackages: they must not import any
+// sim-core package. internal/store persists results across daemon
+// restarts and internal/faultinject is armed by tests against a live
+// daemon — both must stay loadable, testable, and reasoned about
+// without dragging the deterministic kernel in, and the kernel must
+// never grow a back-edge to them (a store or fault hook reachable from
+// sim-core would let host state leak into simulation results). The ban
+// is one-directional and structural, so it is checked at the import
+// graph, not at call sites.
+var Deps = &Analyzer{
+	Name: "deps",
+	Doc:  "forbid sim-core imports in sim-independent infrastructure packages (internal/store, internal/faultinject)",
+	Run:  runDeps,
+}
+
+func runDeps(pass *Pass) error {
+	if !SimIndependent(pass.Pkg.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if Classify(path) == ClassSimCore {
+				pass.Reportf(imp.Pos(), "sim-core import %s in sim-independent package: store and fault-injection infrastructure must not depend on the simulation kernel", path)
+			}
+		}
+	}
+	return nil
+}

@@ -15,6 +15,8 @@
 //     zero-alloc nil-safe disabled path.
 //   - ctxflow: a function that receives a context.Context forwards it instead
 //     of minting context.Background/TODO.
+//   - deps: sim-independent infrastructure (internal/store,
+//     internal/faultinject) must not import sim-core packages.
 //
 // Findings are suppressed line-by-line with
 //
@@ -83,7 +85,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, SimTime, CounterHandle, CtxFlow}
+	return []*Analyzer{Determinism, SimTime, CounterHandle, CtxFlow, Deps}
 }
 
 // Run executes the analyzers over the packages, applies the //simlint:allow

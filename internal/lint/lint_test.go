@@ -31,6 +31,10 @@ func TestCtxFlow(t *testing.T) {
 	linttest.Run(t, fixmod, []string{"./internal/service", "./cmd/tool"}, lint.CtxFlow)
 }
 
+func TestDeps(t *testing.T) {
+	linttest.Run(t, fixmod, []string{"./internal/store"}, lint.Deps)
+}
+
 func TestClassify(t *testing.T) {
 	cases := []struct {
 		path string
@@ -42,6 +46,8 @@ func TestClassify(t *testing.T) {
 		{"spp1000/internal/runner", lint.ClassHost},
 		{"spp1000/internal/service", lint.ClassHost},
 		{"spp1000/internal/resultcache", lint.ClassHost},
+		{"spp1000/internal/store", lint.ClassHost},
+		{"spp1000/internal/faultinject", lint.ClassHost},
 		{"spp1000/cmd/sppbench", lint.ClassExempt},
 		{"spp1000/examples/quickstart", lint.ClassExempt},
 		{"fmt", lint.ClassExempt},

@@ -1,0 +1,11 @@
+// Package store is a simlint fixture: a sim-independent package that
+// illegally imports the simulation kernel.
+package store
+
+import (
+	"spp1000/internal/runner" // host import: legal
+	"spp1000/internal/sim"    // want `sim-core import spp1000/internal/sim in sim-independent package`
+)
+
+// Keep measures nothing; it just uses both imports.
+func Keep(c sim.Cycles, m map[int]int) int { return runner.Fan(m) + int(c) }

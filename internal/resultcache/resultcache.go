@@ -27,6 +27,14 @@ type Stats struct {
 	// Evictions are completed entries dropped to respect the capacity
 	// bound.
 	Evictions int64
+	// BackingHits is the subset of Hits served by the durable backing
+	// store rather than memory — after a restart, prior results land
+	// here.
+	BackingHits int64
+	// BackingErrors counts backing reads/writes that failed. The cache
+	// degrades gracefully: a failed read is a miss (the result is
+	// recomputed), a failed write leaves the result memory-only.
+	BackingErrors int64
 }
 
 // HitRatio is hits over total lookups (0 when no lookups yet).
@@ -46,6 +54,16 @@ type entry struct {
 	err   error
 }
 
+// Backing is the optional durable second level under the in-memory
+// cache (internal/store implements it over the filesystem). Get reports
+// the payload stored under key, (_, false, nil) for a miss; Put durably
+// writes it. Implementations must be safe for concurrent use and must
+// treat detected corruption as a miss, never as a payload.
+type Backing interface {
+	Get(key string) (string, bool, error)
+	Put(key, val string) error
+}
+
 // Cache maps content keys to computed results. The zero value is not
 // usable; call New.
 type Cache struct {
@@ -53,26 +71,40 @@ type Cache struct {
 	entries map[string]*entry
 	order   []string // completed keys, oldest first, for FIFO eviction
 	cap     int      // max completed entries; 0 = unbounded
+	backing Backing  // optional durable second level (nil = memory only)
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	coalesced   atomic.Int64
+	evictions   atomic.Int64
+	backingHits atomic.Int64
+	backingErrs atomic.Int64
 }
 
-// New returns a cache bounded to capacity completed entries; capacity
-// <= 0 means unbounded. In-flight computations never count against the
-// bound (evicting them would orphan waiters).
+// New returns a memory-only cache bounded to capacity completed
+// entries; capacity <= 0 means unbounded. In-flight computations never
+// count against the bound (evicting them would orphan waiters).
 func New(capacity int) *Cache {
+	return NewWithBacking(capacity, nil)
+}
+
+// NewWithBacking layers the cache over a durable backing store:
+// completed results are written through to it, and a lookup that misses
+// memory consults it before computing — so a cache rebuilt after a
+// restart serves the backing's prior results as hits. The memory bound
+// and the backing's own capacity are independent: an entry evicted from
+// memory remains durable, and vice versa. A nil backing is memory-only.
+func NewWithBacking(capacity int, b Backing) *Cache {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Cache{entries: make(map[string]*entry), cap: capacity}
+	return &Cache{entries: make(map[string]*entry), cap: capacity, backing: b}
 }
 
-// Get reports the completed result for key, if present. In-flight
-// entries are invisible to Get (use Do to join them). Get does not
-// touch the hit/miss statistics — it is a peek, not a lookup.
+// Get reports the completed in-memory result for key, if present.
+// In-flight entries are invisible to Get (use Do to join them), and the
+// backing store is not consulted (use Lookup). Get does not touch the
+// hit/miss statistics — it is a peek, not a lookup.
 func (c *Cache) Get(key string) (string, bool) {
 	c.mu.Lock()
 	e := c.entries[key]
@@ -91,10 +123,68 @@ func (c *Cache) Get(key string) (string, bool) {
 	return e.val, true
 }
 
+// Lookup is the counted read path: a result served — from memory or
+// promoted up from the backing store — increments Hits (and
+// BackingHits for the latter), so traffic answered by this lookup is
+// visible in the hit ratio. A miss is not counted here: the caller's
+// subsequent Do records it as the Miss when the computation actually
+// runs. In-flight entries are invisible, as with Get.
+func (c *Cache) Lookup(key string) (string, bool) {
+	if val, ok := c.Get(key); ok {
+		c.hits.Add(1)
+		return val, true
+	}
+	if c.backing == nil {
+		return "", false
+	}
+	val, ok, err := c.backing.Get(key)
+	if err != nil {
+		c.backingErrs.Add(1)
+		return "", false
+	}
+	if !ok {
+		return "", false
+	}
+	c.promote(key, val)
+	c.hits.Add(1)
+	c.backingHits.Add(1)
+	return val, true
+}
+
+// promote installs a backing-store payload as a completed in-memory
+// entry (no-op if key raced into existence meanwhile).
+func (c *Cache) promote(key, val string) {
+	e := &entry{ready: make(chan struct{}), val: val}
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return
+	}
+	c.entries[key] = e
+	c.completeLocked(key)
+}
+
+// completeLocked appends key to the completed order and enforces the
+// memory bound. Callers hold c.mu.
+func (c *Cache) completeLocked(key string) {
+	c.order = append(c.order, key)
+	for c.cap > 0 && len(c.order) > c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+		c.evictions.Add(1)
+	}
+}
+
 // Do returns the result for key, computing it with fn at most once per
 // completed entry: the first caller for a key becomes the leader and
 // runs fn; callers arriving while the leader is in flight coalesce onto
 // the same run; callers after completion are served from the store.
+// With a backing store, the leader first consults it — a durable prior
+// result (for instance from before a daemon restart) is promoted to
+// memory and returned as a Hit with fn never run — and every freshly
+// computed result is written through to it.
 //
 // The outcome reports how this call was answered (Hit, Miss, or
 // Coalesced in the Stats sense). Failed computations are not cached —
@@ -127,26 +217,44 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (string, error)) (
 	e := &entry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
-	c.misses.Add(1)
 
-	e.val, e.err = fn()
+	// Leader. The backing store is consulted first (while followers
+	// coalesce onto this in-flight entry), so one disk read serves all
+	// of them and the computation is skipped entirely.
+	outcome := Miss
+	if c.backing != nil {
+		switch val, ok, err := c.backing.Get(key); {
+		case err != nil:
+			c.backingErrs.Add(1)
+		case ok:
+			e.val = val
+			outcome = Hit
+			c.hits.Add(1)
+			c.backingHits.Add(1)
+		}
+	}
+	if outcome == Miss {
+		c.misses.Add(1)
+		e.val, e.err = fn()
+		if e.err == nil && c.backing != nil {
+			if err := c.backing.Put(key, e.val); err != nil {
+				// Degrade to memory-only rather than failing the job:
+				// the result is correct, it just isn't durable.
+				c.backingErrs.Add(1)
+			}
+		}
+	}
 
 	c.mu.Lock()
 	if e.err != nil {
 		// Do not cache failures; let a future submission retry.
 		delete(c.entries, key)
 	} else {
-		c.order = append(c.order, key)
-		for c.cap > 0 && len(c.order) > c.cap {
-			victim := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, victim)
-			c.evictions.Add(1)
-		}
+		c.completeLocked(key)
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return e.val, Miss, e.err
+	return e.val, outcome, e.err
 }
 
 // Outcome describes how a Do call was answered.
@@ -183,9 +291,11 @@ func (c *Cache) Len() int {
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		BackingHits:   c.backingHits.Load(),
+		BackingErrors: c.backingErrs.Load(),
 	}
 }

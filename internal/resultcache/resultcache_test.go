@@ -196,3 +196,151 @@ func TestDoConcurrentDistinctKeys(t *testing.T) {
 		}
 	}
 }
+
+// fakeBacking is an in-memory Backing with injectable failures, for
+// exercising the durable layer without a filesystem.
+type fakeBacking struct {
+	mu     sync.Mutex
+	m      map[string]string
+	getErr error
+	putErr error
+	gets   int
+	puts   int
+}
+
+func newFakeBacking() *fakeBacking { return &fakeBacking{m: make(map[string]string)} }
+
+func (b *fakeBacking) Get(key string) (string, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gets++
+	if b.getErr != nil {
+		return "", false, b.getErr
+	}
+	v, ok := b.m[key]
+	return v, ok, nil
+}
+
+func (b *fakeBacking) Put(key, val string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.puts++
+	if b.putErr != nil {
+		return b.putErr
+	}
+	b.m[key] = val
+	return nil
+}
+
+// TestBackingWriteThroughAndReadThrough: a computed result lands in the
+// backing store, and a fresh cache over the same backing serves it as a
+// Hit without running the computation — the restart survival property.
+func TestBackingWriteThroughAndReadThrough(t *testing.T) {
+	b := newFakeBacking()
+	c1 := NewWithBacking(0, b)
+	v, out, err := c1.Do(context.Background(), "k", func() (string, error) { return "computed", nil })
+	if err != nil || v != "computed" || out != Miss {
+		t.Fatalf("Do = %q, %v, %v", v, out, err)
+	}
+	if b.m["k"] != "computed" {
+		t.Fatalf("backing not written through: %v", b.m)
+	}
+
+	// "Restart": a brand-new cache, same backing.
+	c2 := NewWithBacking(0, b)
+	v, out, err = c2.Do(context.Background(), "k", func() (string, error) {
+		return "", errors.New("must not recompute a durable result")
+	})
+	if err != nil || v != "computed" || out != Hit {
+		t.Fatalf("restarted Do = %q, %v, %v; want durable hit", v, out, err)
+	}
+	s := c2.Stats()
+	if s.Hits != 1 || s.BackingHits != 1 || s.Misses != 0 {
+		t.Fatalf("restarted stats = %+v", s)
+	}
+	// Promoted to memory: the next read does not touch the disk again.
+	gets := b.gets
+	if v, out, _ := c2.Do(context.Background(), "k", nil); v != "computed" || out != Hit {
+		t.Fatalf("memory hit = %q, %v", v, out)
+	}
+	if b.gets != gets {
+		t.Fatalf("memory hit went to backing (%d reads)", b.gets-gets)
+	}
+}
+
+// TestLookupCountsHits: the counted peek serves from memory and from
+// the backing store, incrementing Hits both ways, and counts nothing on
+// a miss (the later Do records the Miss).
+func TestLookupCountsHits(t *testing.T) {
+	b := newFakeBacking()
+	b.m["disk"] = "from disk"
+	c := NewWithBacking(0, b)
+
+	if _, ok := c.Lookup("absent"); ok {
+		t.Fatal("Lookup of absent key hit")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("miss was counted: %+v", s)
+	}
+
+	if v, ok := c.Lookup("disk"); !ok || v != "from disk" {
+		t.Fatalf("Lookup(disk) = %q, %v", v, ok)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.BackingHits != 1 {
+		t.Fatalf("stats after disk lookup = %+v", s)
+	}
+
+	c.Do(context.Background(), "mem", func() (string, error) { return "in memory", nil })
+	if v, ok := c.Lookup("mem"); !ok || v != "in memory" {
+		t.Fatalf("Lookup(mem) = %q, %v", v, ok)
+	}
+	if s := c.Stats(); s.Hits != 2 || s.BackingHits != 1 || s.Misses != 1 {
+		t.Fatalf("stats after memory lookup = %+v", s)
+	}
+}
+
+// TestBackingFailuresDegradeGracefully: a failing backing read computes
+// instead; a failing write keeps the result memory-only. Both count
+// BackingErrors and neither fails the caller.
+func TestBackingFailuresDegradeGracefully(t *testing.T) {
+	b := newFakeBacking()
+	b.getErr = errors.New("read io error")
+	b.putErr = errors.New("write io error")
+	c := NewWithBacking(0, b)
+
+	v, out, err := c.Do(context.Background(), "k", func() (string, error) { return "computed", nil })
+	if err != nil || v != "computed" || out != Miss {
+		t.Fatalf("Do = %q, %v, %v", v, out, err)
+	}
+	if len(b.m) != 0 {
+		t.Fatalf("failed Put stored anyway: %v", b.m)
+	}
+	// Still served from memory afterwards.
+	if v, ok := c.Lookup("k"); !ok || v != "computed" {
+		t.Fatalf("Lookup = %q, %v", v, ok)
+	}
+	if _, ok := c.Lookup("other"); ok {
+		t.Fatal("Lookup hit through a failing backing")
+	}
+	if s := c.Stats(); s.BackingErrors != 3 { // Do read + Do write + Lookup read
+		t.Fatalf("stats = %+v, want 3 backing errors", s)
+	}
+}
+
+// TestBackingMemoryEvictionKeepsDurable: an entry evicted from the
+// bounded memory tier is still served from the backing store.
+func TestBackingMemoryEvictionKeepsDurable(t *testing.T) {
+	b := newFakeBacking()
+	c := NewWithBacking(1, b)
+	c.Do(context.Background(), "k0", func() (string, error) { return "v0", nil })
+	c.Do(context.Background(), "k1", func() (string, error) { return "v1", nil }) // evicts k0 from memory
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 should be evicted from memory")
+	}
+	v, out, err := c.Do(context.Background(), "k0", func() (string, error) {
+		return "", errors.New("durable entry recomputed")
+	})
+	if err != nil || v != "v0" || out != Hit {
+		t.Fatalf("evicted-but-durable Do = %q, %v, %v", v, out, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"spp1000/internal/experiments"
 )
@@ -35,13 +36,22 @@ func (s *Server) Handler() http.Handler {
 
 // submitRequest is the POST /v1/jobs body. Options may be omitted:
 // jobs then run at paper scale (experiments.Defaults), or reduced scale
-// when quick is set.
+// when quick is set. Setting both quick and options is rejected with
+// 400 — the combination is ambiguous (which scale wins?) and silently
+// picking one would hand back a different content address than the
+// caller thinks they asked for.
 type submitRequest struct {
 	// Experiments is a list of ids, or a single element such as "all" /
 	// "extra" / "everything" which is expanded like sppbench -exp.
 	Experiments []string             `json:"experiments"`
 	Options     *experiments.Options `json:"options,omitempty"`
 	Quick       bool                 `json:"quick,omitempty"`
+	// Timeout bounds this job's execution as a Go duration string
+	// ("30s", "5m"); empty falls back to the daemon's -job-timeout.
+	// It is execution policy, not configuration: it does not enter the
+	// content address, and a submission that joins an already-live job
+	// does not change that job's deadline.
+	Timeout string `json:"timeout,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -57,7 +67,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.Submit(spec)
+	var timeout time.Duration
+	if req.Timeout != "" {
+		timeout, err = time.ParseDuration(req.Timeout)
+		if err != nil || timeout <= 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("bad timeout %q: want a positive Go duration such as \"30s\"", req.Timeout))
+			return
+		}
+	}
+	v, err := s.Submit(spec, timeout)
 	switch {
 	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -88,6 +107,10 @@ func specFromRequest(req submitRequest) (experiments.Spec, error) {
 			}
 			names = expanded
 		}
+	}
+	if req.Quick && req.Options != nil {
+		return experiments.Spec{}, errors.New(
+			`"quick" and "options" are mutually exclusive: quick selects the reduced preset, options pins every scale field explicitly`)
 	}
 	opts := experiments.Defaults()
 	if req.Quick {

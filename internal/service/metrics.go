@@ -34,17 +34,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	p("jobs_submitted_total", "%d", s.submitted.Load())
 	p("jobs_deduplicated_total", "%d", s.deduped.Load())
+	p("jobs_rejected_total", "%d", s.rejected.Load())
 	p("jobs_queued", "%d", s.queuedN.Load())
 	p("jobs_running", "%d", s.runningN.Load())
 	p("jobs_done_total", "%d", s.done.Load())
 	p("jobs_failed_total", "%d", s.failed.Load())
 	p("jobs_canceled_total", "%d", s.canceled.Load())
+	p("jobs_timeout_total", "%d", s.timedout.Load())
 	p("queue_capacity", "%d", int64(s.cfg.QueueDepth))
 	p("cache_hits_total", "%d", cs.Hits)
 	p("cache_misses_total", "%d", cs.Misses)
 	p("cache_coalesced_total", "%d", cs.Coalesced)
 	p("cache_evictions_total", "%d", cs.Evictions)
 	p("cache_hit_ratio", "%.4f", cs.HitRatio())
+	p("store_hits_total", "%d", cs.BackingHits)
+	p("store_errors_total", "%d", cs.BackingErrors)
 	p("busy_seconds_total", "%.3f", float64(s.busyNanos.Load())/1e9)
 	p("sim_cycles_total", "%d", cycles)
 	p("sim_cycles_per_wall_second", "%.0f", perSec)

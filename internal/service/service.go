@@ -20,6 +20,7 @@ import (
 
 	"spp1000/internal/counters"
 	"spp1000/internal/experiments"
+	"spp1000/internal/faultinject"
 	"spp1000/internal/resultcache"
 )
 
@@ -63,6 +64,19 @@ type Config struct {
 	MaxJobs int
 	// Run executes a job. Default DefaultRun.
 	Run RunFunc
+	// JobTimeout bounds each job's execution (queue wait excluded): a
+	// run still going when the deadline expires has its context
+	// cancelled — stopping sweep-point dispatch — and the job reports
+	// the terminal status "timeout". 0 (the default) means no deadline.
+	// A submission's own timeout (the API's "timeout" field) overrides
+	// this per job.
+	JobTimeout time.Duration
+	// Store is the optional durable result store layered under the
+	// in-memory cache (see internal/store): completed results are
+	// written through to it, and a restarted daemon pointed at the same
+	// store serves prior results as cache hits with no simulation run.
+	// nil (the default) keeps results memory-only.
+	Store resultcache.Backing
 	// Now supplies the wall-clock timestamps stamped onto job lifecycle
 	// views (submittedAt/startedAt/finishedAt) and the uptime metric.
 	// Injecting it here keeps the daemon's state machine free of direct
@@ -103,11 +117,15 @@ const (
 	StatusDone     Status = "done"
 	StatusFailed   Status = "failed"
 	StatusCanceled Status = "canceled"
+	// StatusTimeout marks a job whose execution deadline (Config.JobTimeout
+	// or the submission's own timeout) expired before it finished. Like
+	// failed and canceled jobs, it re-arms on resubmission.
+	StatusTimeout Status = "timeout"
 )
 
 // Terminal reports whether the state is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusTimeout
 }
 
 // job is the server-side record of one submission. The job id IS the
@@ -123,6 +141,7 @@ type job struct {
 	result    string
 	counters  map[string]int64 // flattened PMU snapshot of the run
 	errMsg    string
+	timeout   time.Duration // execution deadline; 0 = none
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -153,11 +172,13 @@ type Server struct {
 	sim *counters.Collector
 
 	// cumulative counters (atomics: read by /metrics without the lock)
-	submitted atomic.Int64 // accepted submissions (incl. deduped)
+	submitted atomic.Int64 // all submissions (incl. deduped and rejected)
 	deduped   atomic.Int64 // submissions answered by an existing job
+	rejected  atomic.Int64 // submissions refused (queue full or draining)
 	done      atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	timedout  atomic.Int64
 	queuedN   atomic.Int64 // gauge
 	runningN  atomic.Int64 // gauge
 	busyNanos atomic.Int64 // summed wall time of job executions
@@ -168,7 +189,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
-		cache:       resultcache.New(cfg.CacheCapacity),
+		cache:       resultcache.NewWithBacking(cfg.CacheCapacity, cfg.Store),
 		jobs:        make(map[string]*job),
 		queue:       make(chan *job, cfg.QueueDepth),
 		started:     cfg.Now(),
@@ -191,26 +212,35 @@ var ErrQueueFull = errors.New("job queue full")
 var ErrDraining = errors.New("server is draining")
 
 // Submit registers (or re-joins) the job for spec and returns its
-// snapshot. The spec must already be normalized. Outcomes:
+// snapshot. The spec must already be normalized. timeout bounds the
+// job's execution (0 falls back to Config.JobTimeout); it is execution
+// policy, not configuration, so it is deliberately outside the content
+// address — a submission that joins an existing live job does not
+// change that job's deadline. Outcomes:
 //
 //   - no prior state: the job is enqueued (ErrQueueFull if the bounded
 //     queue is at capacity).
 //   - an identical job is queued, running, or done: that job is
 //     returned as-is — concurrent duplicates coalesce onto one run and
 //     repeats of a finished job see its result with no new simulation.
-//   - the identical job failed or was canceled: it is re-armed and
-//     enqueued again (deterministic simulations don't fail flakily, but
-//     cancellation is routine).
-//   - the result is in the cache with no live job (the job table was
-//     pruned): a completed job record is synthesized from the cache.
-func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
+//   - the identical job failed, was canceled, or timed out: it is
+//     re-armed and enqueued again (deterministic simulations don't fail
+//     flakily, but cancellation and deadlines are routine).
+//   - the result is known to the cache or the durable store with no
+//     live job (the job table was pruned, or the daemon restarted): a
+//     completed job record is synthesized from it, with no simulation.
+func (s *Server) Submit(spec experiments.Spec, timeout time.Duration) (JobView, error) {
 	key := spec.Key()
+	if timeout <= 0 {
+		timeout = s.cfg.JobTimeout
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.submitted.Add(1)
 	if s.draining {
+		s.rejected.Add(1)
 		return JobView{}, ErrDraining
 	}
-	s.submitted.Add(1)
 
 	if j, ok := s.jobs[key]; ok {
 		if !j.status.Terminal() || j.status == StatusDone {
@@ -222,12 +252,14 @@ func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
 			}
 			return v, nil
 		}
-		// failed or canceled: re-arm the same record and run again.
+		// failed, canceled, or timed out: re-arm the same record and
+		// run again.
 		j.ctx, j.cancel = context.WithCancel(context.Background())
 		j.status = StatusQueued
 		j.cached = false
 		j.errMsg = ""
 		j.result = ""
+		j.timeout = timeout
 		j.submitted = s.cfg.Now()
 		j.started, j.finished = time.Time{}, time.Time{}
 		select {
@@ -235,16 +267,25 @@ func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
 			s.queuedN.Add(1)
 			return s.viewLocked(j), nil
 		default:
+			// The re-arm failed: the record must land terminal with the
+			// books balanced — tallied as canceled, finish-stamped, and
+			// its fresh context released — or /metrics totals drift and
+			// the job view shows a terminal job with no FinishedAt.
+			j.cancel()
 			j.status = StatusCanceled
 			j.errMsg = ErrQueueFull.Error()
+			j.finished = s.cfg.Now()
+			s.canceled.Add(1)
+			s.rejected.Add(1)
 			return JobView{}, ErrQueueFull
 		}
 	}
 
-	j := &job{id: key, spec: spec, submitted: s.cfg.Now()}
-	if res, ok := s.cache.Get(key); ok {
-		// Result known from an earlier (since-pruned) job: serve it
-		// without queueing anything.
+	j := &job{id: key, spec: spec, timeout: timeout, submitted: s.cfg.Now()}
+	if res, ok := s.cache.Lookup(key); ok {
+		// Result known from an earlier (since-pruned) job or from the
+		// durable store of a previous daemon life: serve it without
+		// queueing anything. Lookup counts this as the cache hit it is.
 		j.status = StatusDone
 		j.cached = true
 		j.result = res
@@ -258,6 +299,8 @@ func (s *Server) Submit(spec experiments.Spec) (JobView, error) {
 	select {
 	case s.queue <- j:
 	default:
+		j.cancel()
+		s.rejected.Add(1)
 		return JobView{}, ErrQueueFull
 	}
 	s.queuedN.Add(1)
@@ -296,16 +339,28 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *job) {
-	s.queuedN.Add(-1)
 	s.mu.Lock()
-	if j.status != StatusQueued { // canceled while waiting; already tallied
+	if j.status != StatusQueued {
+		// Withdrawn by Cancel while waiting: tallied and de-gauged at
+		// cancel time, so dequeueing the corpse touches nothing.
 		s.mu.Unlock()
 		return
 	}
+	s.queuedN.Add(-1)
 	j.status = StatusRunning
 	j.started = s.cfg.Now()
+	timeout := j.timeout
 	s.mu.Unlock()
 	s.runningN.Add(1)
+
+	// The execution deadline derives from the job's own context, so a
+	// user cancel and a timeout share one cancellation path and are
+	// told apart by the context error.
+	runCtx, cancelRun := j.ctx, context.CancelFunc(func() {})
+	if timeout > 0 {
+		runCtx, cancelRun = context.WithTimeout(j.ctx, timeout)
+	}
+	defer cancelRun()
 
 	// Per-job PMU attribution: every machine built while this collector
 	// is attached enables counters and publishes into it on completion.
@@ -316,8 +371,13 @@ func (s *Server) runJob(j *job) {
 	// empty or partial by design.
 	jobCol := counters.NewCollector()
 	counters.Attach(jobCol)
-	res, outcome, err := s.cache.Do(j.ctx, j.id, func() (string, error) {
-		return s.cfg.Run(j.ctx, j.spec)
+	res, outcome, err := s.cache.Do(runCtx, j.id, func() (string, error) {
+		// Test-only fault injection: the fault-matrix suite arms this
+		// point to delay runs (filling the queue) or fail them.
+		if err := faultinject.Fire(faultinject.RunStart, j.id); err != nil {
+			return "", err
+		}
+		return s.cfg.Run(runCtx, j.spec)
 	})
 	counters.Detach(jobCol)
 
@@ -337,7 +397,14 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 		s.done.Add(1)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusTimeout
+		j.errMsg = err.Error()
+		if timeout > 0 {
+			j.errMsg = fmt.Sprintf("deadline exceeded after %v", timeout)
+		}
+		s.timedout.Add(1)
+	case errors.Is(err, context.Canceled):
 		j.status = StatusCanceled
 		j.errMsg = err.Error()
 		s.canceled.Add(1)
@@ -368,6 +435,10 @@ func (s *Server) Cancel(id string) (JobView, error) {
 		j.finished = s.cfg.Now()
 		j.errMsg = "canceled while queued"
 		s.canceled.Add(1)
+		// Settle the gauge now: runJob skips withdrawn jobs before
+		// touching it, so deferring to the dequeue would leave
+		// sppd_jobs_queued stale until a worker happened by.
+		s.queuedN.Add(-1)
 	}
 	j.cancel()
 	return s.viewLocked(j), nil

@@ -204,6 +204,13 @@ func TestSubmitValidation(t *testing.T) {
 		`{"experiments":["nope"]}`,
 		`{"experiments":["fig2"],"bogus":1}`,
 		`not json`,
+		// quick and options are mutually exclusive: silently picking one
+		// would hand back a different content address than asked for.
+		`{"experiments":["fig2"],"quick":true,"options":{"seed":3}}`,
+		// timeouts must be positive Go durations.
+		`{"experiments":["fig2"],"timeout":"banana"}`,
+		`{"experiments":["fig2"],"timeout":"-5s"}`,
+		`{"experiments":["fig2"],"timeout":"0s"}`,
 	} {
 		if _, code := submit(t, ts, body); code != http.StatusBadRequest {
 			t.Errorf("submit(%q): code %d, want 400", body, code)

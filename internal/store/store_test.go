@@ -1,0 +1,265 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spp1000/internal/faultinject"
+)
+
+// key returns a distinct valid (hex) key per index.
+func key(i int) string { return fmt.Sprintf("%064x", i+1) }
+
+func open(t *testing.T, dir string, cap int) *Store {
+	t.Helper()
+	s, err := Open(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	val := "=== fig2 ===\nresult bytes\nwith lines\n"
+	if err := s.Put(key(0), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key(0))
+	if err != nil || !ok || got != val {
+		t.Fatalf("Get = %q, %v, %v; want stored value", got, ok, err)
+	}
+	if _, ok, err := s.Get(key(1)); ok || err != nil {
+		t.Fatalf("Get of absent key = %v, %v", ok, err)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSurvivesReopen is the store's reason to exist: a second Open of
+// the same directory serves what the first wrote.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, 0)
+	if err := s1.Put(key(0), "persisted"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+	got, ok, err := s2.Get(key(0))
+	if err != nil || !ok || got != "persisted" {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	for _, k := range []string{"", "../../etc/passwd", "ABCDEF", "xyz", strings.Repeat("a", 200)} {
+		if err := s.Put(k, "v"); err == nil {
+			t.Errorf("Put(%q) accepted", k)
+		}
+		if _, _, err := s.Get(k); err == nil {
+			t.Errorf("Get(%q) accepted", k)
+		}
+	}
+}
+
+func TestCorruptEntryDetectedAndDropped(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"flipped payload byte": func(b []byte) []byte { b[len(b)-2] ^= 0x40; return b },
+		"truncated":            func(b []byte) []byte { return b[:len(b)-3] },
+		"bad magic":            func(b []byte) []byte { b[0] = 'X'; return b },
+		"empty file":           func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, 0)
+			if err := s.Put(key(0), "precious result"); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, key(0)+entrySuffix)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(key(0))
+			if err != nil || ok {
+				t.Fatalf("corrupt Get = %q, %v, %v; want miss", got, ok, err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not deleted: %v", err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want Corrupt 1", st)
+			}
+			// The slot is reusable: a fresh Put serves again.
+			if err := s.Put(key(0), "recomputed"); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, _ := s.Get(key(0)); !ok || got != "recomputed" {
+				t.Fatalf("after recompute: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestTornWriteViaFaultInjection arms the StoreWrite hook to truncate
+// the temp file between payload write and rename — the renamed entry is
+// then a torn write, which the next Get must detect and drop.
+func TestTornWriteViaFaultInjection(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	disarm := faultinject.Arm(faultinject.StoreWrite, func(args ...string) error {
+		return os.Truncate(args[0], 7)
+	})
+	t.Cleanup(disarm)
+	if err := s.Put(key(0), "will be torn"); err != nil {
+		t.Fatal(err)
+	}
+	disarm()
+	if got, ok, err := s.Get(key(0)); err != nil || ok {
+		t.Fatalf("torn entry served: %q, %v, %v", got, ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt 1", st)
+	}
+}
+
+func TestInjectedWriteErrorFailsPut(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	boom := errors.New("disk on fire")
+	disarm := faultinject.Arm(faultinject.StoreWrite, func(...string) error { return boom })
+	t.Cleanup(disarm)
+	if err := s.Put(key(0), "v"); !errors.Is(err, boom) {
+		t.Fatalf("Put = %v, want injected error", err)
+	}
+	disarm()
+	if s.Len() != 0 {
+		t.Fatalf("failed Put left an entry (len %d)", s.Len())
+	}
+	assertNoTempFiles(t, s.Dir())
+}
+
+func TestNoTempFilesAfterPut(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertNoTempFiles(t, s.Dir())
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			t.Errorf("leftover temp file %s", de.Name())
+		}
+	}
+}
+
+// TestOpenSweepsTempFiles: a crash mid-write leaves a temp file; the
+// next Open removes it and never indexes it.
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, tmpPrefix+key(0)+"-123")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, 0)
+	if s.Len() != 0 {
+		t.Fatalf("temp file indexed (len %d)", s.Len())
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("temp file not swept: %v", err)
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 3)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mod times so eviction order is deterministic
+		// regardless of filesystem timestamp granularity.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, key(i)+entrySuffix), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		s.mu.Lock()
+		s.entries[key(i)] = mt
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := s.Get(key(i)); ok {
+			t.Errorf("oldest entry %d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if got, ok, _ := s.Get(key(i)); !ok || got != fmt.Sprintf("v%d", i) {
+			t.Errorf("entry %d lost: %q, %v", i, got, ok)
+		}
+	}
+	// A reopen with a tighter bound GCs down to it.
+	s2 := open(t, dir, 1)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+	if got, ok, _ := s2.Get(key(4)); !ok || got != "v4" {
+		t.Fatalf("newest entry evicted: %q, %v", got, ok)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := key(i % 4)
+			v := fmt.Sprintf("v%d", i%4)
+			for n := 0; n < 25; n++ {
+				if err := s.Put(k, v); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok, err := s.Get(k); err != nil || (ok && got != v) {
+					t.Errorf("Get = %q, %v, %v", got, ok, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+}
