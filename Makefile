@@ -3,16 +3,17 @@
 GO ?= go
 
 # PR-numbered benchmark artifact (bump per PR to track the trajectory).
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_6.json
 
-.PHONY: all verify build test race bench vet doc lint cover faultmatrix reproduce quick serve examples clean
+.PHONY: all verify build test race bench vet doc lint cover faultmatrix pdes reproduce quick serve examples clean
 
 all: build vet lint test race
 
 # Tier-1 verification chain: compile, static checks, doc coverage,
-# simulator invariants, tests, race tests, and the fault matrix.
+# simulator invariants, tests, race tests, the fault matrix, and the
+# PDES golden-equality gate.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix
+	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix && $(MAKE) pdes
 
 # Fail on undocumented exported symbols of the core packages
 # (internal/sim, internal/trace, internal/runner, internal/counters,
@@ -56,6 +57,13 @@ cover:
 faultmatrix:
 	$(GO) test -race -run 'TestFaultInjected|TestJobTimeout|TestPerRequestTimeout|TestKillAndRestart|TestTornStoreWrite|TestMetricsReconcile' ./internal/service
 	$(GO) test -race ./internal/store ./internal/faultinject
+
+# The partitioned-engine gate: the parsim coordinator unit tests and
+# the serial-vs-PDES golden-equality suite (every experiment at
+# -simpar 1/2/4, byte-identical), all under the race detector.
+pdes:
+	$(GO) test -race ./internal/parsim
+	$(GO) test -race -run 'TestPDES' ./internal/experiments
 
 # Regenerate every table and figure at paper scale (≈1 minute).
 reproduce:

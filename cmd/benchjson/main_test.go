@@ -18,6 +18,22 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func TestParseLineEventRate(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig6PIC128PDES2-8   \t  18\t  61705991 ns/op\t  1096219 events/sec-per-core\t  1748 sim-Mflops-128cpu\t  102915361 B/op\t  80488 allocs/op")
+	if !ok {
+		t.Fatal("parseLine failed")
+	}
+	if b.Name != "Fig6PIC128PDES2" || b.Iterations != 18 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["events/sec-per-core"] != 1096219 {
+		t.Fatalf("events/sec-per-core missing: %+v", b.Metrics)
+	}
+	if b.Metrics["sim-Mflops-128cpu"] != 1748 {
+		t.Fatalf("sim metric missing: %+v", b.Metrics)
+	}
+}
+
 func TestParseLineNoSuffix(t *testing.T) {
 	b, ok := parseLine("BenchmarkKernelEventThroughput 	158551778	         7.526 ns/op	       0 B/op	       0 allocs/op")
 	if !ok || b.Name != "KernelEventThroughput" || b.NsPerOp != 7.526 {

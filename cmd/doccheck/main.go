@@ -36,6 +36,7 @@ var defaultPackages = []string{
 	"internal/lint/linttest",
 	"internal/store",
 	"internal/faultinject",
+	"internal/parsim",
 }
 
 func main() {

@@ -8,11 +8,15 @@
 //	sppbench -exp fig6,tab2      # a subset
 //	sppbench -quick              # reduced problem sizes (CI-friendly)
 //	sppbench -par 1              # serial (default: all host cores)
+//	sppbench -simpar 4           # partitioned-engine workers (1 = serial)
 //	sppbench -exp all -counters  # append per-component PMU counter tables
 //
 // Every sweep point is an independent deterministic simulation, so the
 // experiments fan out across host cores through internal/runner; the
-// output is byte-identical for any -par value.
+// output is byte-identical for any -par value. -simpar independently
+// sets how many goroutines execute the hypernode partitions *inside*
+// one simulation on the PDES engine (internal/parsim); output is
+// byte-identical for any -simpar value too.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"spp1000/internal/counters"
 	"spp1000/internal/experiments"
+	"spp1000/internal/parsim"
 	"spp1000/internal/runner"
 )
 
@@ -31,6 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "emit the paper artifacts as structured JSON instead of text")
 	par := flag.Int("par", 0, "host workers for independent simulations (0 = all cores, 1 = serial)")
+	simpar := flag.Int("simpar", 0, "host workers for hypernode partitions inside one PDES simulation (0 or 1 = serial)")
 	withCounters := flag.Bool("counters", false, "append a per-component PMU counter breakdown to every experiment")
 	flag.Parse()
 
@@ -39,6 +45,11 @@ func main() {
 		os.Exit(2)
 	}
 	runner.SetWorkers(*par)
+	if *simpar < 0 {
+		fmt.Fprintf(os.Stderr, "sppbench: -simpar must be >= 0 (0 or 1 = serial), got %d\n", *simpar)
+		os.Exit(2)
+	}
+	parsim.SetWorkers(*simpar)
 
 	opts := experiments.Defaults()
 	if *quick {

@@ -5,6 +5,7 @@ import (
 
 	"spp1000/internal/c90"
 	"spp1000/internal/machine"
+	"spp1000/internal/parsim"
 	"spp1000/internal/perfmodel"
 	"spp1000/internal/threads"
 	"spp1000/internal/topology"
@@ -109,6 +110,63 @@ func (p DataPlacement) String() string {
 	return "near-shared@hn0"
 }
 
+// chunkCycles computes thread tid's per-step compute cycles from the
+// coding's per-element costs and the thread's data placement. remote
+// marks a thread whose CPU lives off hypernode 0, where the paper's
+// near-shared-hosted mesh arrays reside; its partition's state crosses
+// the rings every step. Shared by the monolithic (RunPlaced) and
+// partitioned (RunPar) runners so both price the identical work model.
+func chunkCycles(p topology.Params, grid [2]int, coding Coding, procs, tid int, placement DataPlacement, remote bool) int64 {
+	points := grid[0] * grid[1]
+	elements := 2 * points
+	cc := costs(coding)
+
+	// Point-state working set: U, Res, Diss (4 vars × 8 B × 3 arrays).
+	stateBytes := int64(points) * NVars * 8 * 3
+	capFrac := perfmodel.CapacityMissFraction(stateBytes, topology.CacheBytes)
+	stateLines := stateBytes / topology.CacheLineBytes
+
+	lo := tid * elements / procs
+	hi := (tid + 1) * elements / procs
+	ne := int64(hi - lo)
+	np := int64((tid+1)*points/procs - tid*points/procs)
+
+	var c perfmodel.Chunk
+	// Timestep reduction sweep (global max — communication class 1).
+	c.Flops += np * 12
+	c.Divides += np
+	c.CacheHits += np * 5
+	// Element phase: gather + flux + scatter-add (classes 2 and 3).
+	c.Flops += ne * cc.elemFlops
+	c.Divides += ne * cc.elemDivides
+	c.IntOps += ne * cc.elemIntOps
+	c.CacheHits += ne * cc.elemHits
+	// Point phase.
+	c.Flops += np * cc.pointFlops
+	c.CacheHits += np * cc.pointHits
+
+	// Morton-ordered sweeps: new-line traffic per element, scaled
+	// by how much of the point state stays cache-resident.
+	misses := int64(float64(ne) * cc.linesPerElem * (0.3 + 0.7*capFrac))
+	c.HypernodeMisses += misses
+	switch {
+	case placement == BlockSharedPartition:
+		// Partition homed with its thread: only the partition
+		// boundary (shared points between adjacent Morton ranges
+		// on different hypernodes) crosses the rings.
+		if remote {
+			c.GlobalMisses += stateLines / int64(elements/64+1)
+		}
+	case remote:
+		// Remote threads hit their global-buffer copies, but every
+		// line of their partition must be re-imported over the
+		// rings each step (the state is rewritten by the point
+		// phase, invalidating the buffered copies).
+		c.GlobalMisses += stateLines * ne / int64(elements)
+	}
+	return perfmodel.Cycles(p, c)
+}
+
 // Run times the FEM application on the simulated machine. The mesh
 // arrays are near-shared hosted on hypernode 0 — the paper notes that
 // node-private and block-shared placement were not yet operational
@@ -132,60 +190,11 @@ func RunPlaced(grid [2]int, coding Coding, procs, steps int, placement DataPlace
 		return Result{}, err
 	}
 	points := grid[0] * grid[1]
-	elements := 2 * points
-	cc := costs(coding)
-
-	// Point-state working set: U, Res, Diss (4 vars × 8 B × 3 arrays).
-	stateBytes := int64(points) * NVars * 8 * 3
-	capFrac := perfmodel.CapacityMissFraction(stateBytes, topology.CacheBytes)
-	stateLines := stateBytes / topology.CacheLineBytes
-
-	chunkFor := func(tid int) int64 {
-		cpu := threads.CPUFor(m.Topo, threads.HighLocality, tid, procs)
-		lo := tid * elements / procs
-		hi := (tid + 1) * elements / procs
-		ne := int64(hi - lo)
-		np := int64((tid+1)*points/procs - tid*points/procs)
-
-		var c perfmodel.Chunk
-		// Timestep reduction sweep (global max — communication class 1).
-		c.Flops += np * 12
-		c.Divides += np
-		c.CacheHits += np * 5
-		// Element phase: gather + flux + scatter-add (classes 2 and 3).
-		c.Flops += ne * cc.elemFlops
-		c.Divides += ne * cc.elemDivides
-		c.IntOps += ne * cc.elemIntOps
-		c.CacheHits += ne * cc.elemHits
-		// Point phase.
-		c.Flops += np * cc.pointFlops
-		c.CacheHits += np * cc.pointHits
-
-		// Morton-ordered sweeps: new-line traffic per element, scaled
-		// by how much of the point state stays cache-resident.
-		misses := int64(float64(ne) * cc.linesPerElem * (0.3 + 0.7*capFrac))
-		c.HypernodeMisses += misses
-		switch {
-		case placement == BlockSharedPartition:
-			// Partition homed with its thread: only the partition
-			// boundary (shared points between adjacent Morton ranges
-			// on different hypernodes) crosses the rings.
-			if cpu.Hypernode() != 0 {
-				c.GlobalMisses += stateLines / int64(elements/64+1)
-			}
-		case cpu.Hypernode() != 0:
-			// Remote threads hit their global-buffer copies, but every
-			// line of their partition must be re-imported over the
-			// rings each step (the state is rewritten by the point
-			// phase, invalidating the buffered copies).
-			c.GlobalMisses += stateLines * ne / int64(elements)
-		}
-		return perfmodel.Cycles(m.P, c)
-	}
 
 	cycles := make([]int64, procs)
 	for tid := range cycles {
-		cycles[tid] = chunkFor(tid)
+		cpu := threads.CPUFor(m.Topo, threads.HighLocality, tid, procs)
+		cycles[tid] = chunkCycles(m.P, grid, coding, procs, tid, placement, cpu.Hypernode() != 0)
 	}
 
 	bar := threads.NewBarrier(m, procs, 0)
@@ -203,6 +212,59 @@ func RunPlaced(grid [2]int, coding Coding, procs, steps int, placement DataPlace
 	if err != nil {
 		return Result{}, err
 	}
+	sec := elapsed.Seconds()
+	updates := float64(points) * float64(steps)
+	rate := updates / (sec * 1e6)
+	return Result{
+		Grid: grid, Coding: coding, Procs: procs, Steps: steps,
+		Seconds:           sec,
+		PointUpdatesPerUs: rate,
+		UsefulMflops:      rate * UsefulFlopsPerPoint,
+	}, nil
+}
+
+// RunPar is Run on the hypernode-partitioned (PDES) engine: the same
+// per-thread work model (chunkCycles) and three-barrier step structure,
+// but one share-nothing kernel per hypernode (internal/parsim), so the
+// simulation scales across host cores up to the full 128-CPU machine.
+// Output is byte-identical at every parsim worker count.
+func RunPar(grid [2]int, coding Coding, procs, steps int) (Result, error) {
+	hn := (procs + topology.CPUsPerNode - 1) / topology.CPUsPerNode
+	if hn < 1 {
+		hn = 1
+	}
+	cl, err := parsim.NewCluster(hn)
+	if err != nil {
+		return Result{}, err
+	}
+	cycles := make([]int64, procs)
+	nodeOf := make([]int, procs)
+	counts := make([]int, hn)
+	for tid := range cycles {
+		cpu := threads.CPUFor(cl.Topo, threads.HighLocality, tid, procs)
+		nodeOf[tid] = cpu.Hypernode()
+		counts[nodeOf[tid]]++
+		cycles[tid] = chunkCycles(cl.P, grid, coding, procs, tid, HostedNearShared, cpu.Hypernode() != 0)
+	}
+	bar, err := parsim.NewClusterBarrier(cl, counts)
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed, err := cl.RunTeam(procs, func(th *machine.Thread, tid int) {
+		for s := 0; s < steps; s++ {
+			// dt reduction barrier, element phase, point phase.
+			th.ComputeCycles(cycles[tid] / 3)
+			bar.Wait(th, nodeOf[tid])
+			th.ComputeCycles(cycles[tid] - 2*(cycles[tid]/3))
+			bar.Wait(th, nodeOf[tid])
+			th.ComputeCycles(cycles[tid] / 3)
+			bar.Wait(th, nodeOf[tid])
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	points := grid[0] * grid[1]
 	sec := elapsed.Seconds()
 	updates := float64(points) * float64(steps)
 	rate := updates / (sec * 1e6)

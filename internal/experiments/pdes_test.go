@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"spp1000/internal/parsim"
+)
+
+// TestPDESGoldenEquality is the partitioned engine's gate, mirroring
+// how -par landed: every experiment — the full paper suite plus the
+// PDES-backed scalepar sweep — must render byte-identically at -simpar
+// 1, 2, and 4. Serial (-simpar 1) is the reference order; the
+// coordinator's deterministic merge must reproduce it exactly at every
+// worker count. Runs under -race via `make pdes`.
+func TestPDESGoldenEquality(t *testing.T) {
+	o := Quick()
+	names := append(append([]string{}, Names...), Extra...)
+
+	run := func(workers int) string {
+		t.Helper()
+		parsim.SetWorkers(workers)
+		defer parsim.SetWorkers(0)
+		outs, err := RunMany(names, o)
+		if err != nil {
+			t.Fatalf("simpar=%d: %v", workers, err)
+		}
+		return strings.Join(outs, "\n")
+	}
+
+	serial := run(1)
+	if serial == "" {
+		t.Fatal("experiments produced no output")
+	}
+	if !strings.Contains(serial, "Partitioned scaling") {
+		t.Fatal("suite does not include the scalepar sweep")
+	}
+	for _, w := range []int{2, 4} {
+		if got := run(w); got != serial {
+			d := diffAt(serial, got)
+			t.Fatalf("output differs between -simpar 1 and -simpar %d at byte %d:\nserial: %.200q\nsimpar%d: %.200q",
+				w, d, tail(serial, d), w, tail(got, d))
+		}
+	}
+}
+
+// diffAt reports the first differing byte offset.
+func diffAt(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// tail slices s from offset d for error context.
+func tail(s string, d int) string {
+	if d > len(s) {
+		d = len(s)
+	}
+	return s[d:]
+}

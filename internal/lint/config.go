@@ -22,6 +22,13 @@ const (
 	// ClassSimCore packages execute inside, or render the output of, the
 	// deterministic simulation. Every analyzer applies in full.
 	ClassSimCore
+	// ClassPDES packages coordinate concurrent execution of sim-core
+	// kernels (the parallel-discrete-event layer). Goroutines and
+	// channels are their reason to exist, so the no-goroutine rule does
+	// not apply — but their scheduling decisions feed simulator output,
+	// so the other determinism invariants (no wall-clock reads, no
+	// math/rand, no map iteration) bind exactly as in sim-core.
+	ClassPDES
 )
 
 // String names the class for diagnostics and docs.
@@ -31,6 +38,8 @@ func (c Class) String() string {
 		return "host"
 	case ClassSimCore:
 		return "sim-core"
+	case ClassPDES:
+		return "pdes"
 	default:
 		return "exempt"
 	}
@@ -66,6 +75,14 @@ var SimCorePackages = []string{
 	"internal/ablation",
 	"internal/microbench",
 	"internal/trace",
+}
+
+// PDESPackages lists the module-relative import paths (each covering
+// its subtree) classified ClassPDES: the coordinator layer that runs
+// sim-core kernels on concurrent goroutines while keeping their output
+// byte-identical.
+var PDESPackages = []string{
+	"internal/parsim",
 }
 
 // HostPackages lists the module-relative import paths (each covering its
@@ -118,6 +135,11 @@ func Classify(pkgPath string) Class {
 	for _, p := range SimCorePackages {
 		if rel == p || strings.HasPrefix(rel, p+"/") {
 			return ClassSimCore
+		}
+	}
+	for _, p := range PDESPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return ClassPDES
 		}
 	}
 	for _, p := range HostPackages {

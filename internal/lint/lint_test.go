@@ -13,7 +13,8 @@ const fixmod = "testdata/fixmod"
 
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, fixmod,
-		[]string{"./internal/cache", "./internal/runner", "./cmd/tool"},
+		[]string{"./internal/cache", "./internal/runner", "./cmd/tool",
+			"./internal/sim", "./internal/parsim"},
 		lint.Determinism)
 }
 
@@ -43,6 +44,7 @@ func TestClassify(t *testing.T) {
 		{"spp1000/internal/sim", lint.ClassSimCore},
 		{"spp1000/internal/apps/fem", lint.ClassSimCore},
 		{"spp1000/internal/counters", lint.ClassSimCore},
+		{"spp1000/internal/parsim", lint.ClassPDES},
 		{"spp1000/internal/runner", lint.ClassHost},
 		{"spp1000/internal/service", lint.ClassHost},
 		{"spp1000/internal/resultcache", lint.ClassHost},

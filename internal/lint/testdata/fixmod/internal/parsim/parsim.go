@@ -1,0 +1,35 @@
+// Package parsim is a simlint fixture for the pdes class: goroutines
+// and channels are this layer's reason to exist, so spawning is legal —
+// but the other determinism invariants bind exactly as in sim-core.
+package parsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Windows runs partitions on worker goroutines: no finding.
+func Windows(parts []func()) {
+	done := make(chan struct{}, len(parts))
+	for _, p := range parts {
+		p := p
+		go func() { // goroutines permitted in pdes packages
+			p()
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+}
+
+// Bad trips every check that still applies to the pdes class.
+func Bad(m map[int]int) int {
+	t := time.Now()           // want `wall-clock call time\.Now`
+	time.Sleep(time.Since(t)) // want `time\.Sleep` `time\.Since`
+	n := rand.Intn(8)         // want `math/rand in pdes`
+	for k := range m {        // want `map iteration order is nondeterministic`
+		n += k
+	}
+	return n
+}

@@ -8,12 +8,25 @@ import (
 // totalCycles accumulates the virtual cycles advanced by every kernel in
 // the process, folded in once per Run/RunUntil return (never on the
 // per-event hot path). It feeds throughput gauges such as sppd's
-// simulated-cycles-per-wall-second metric.
+// simulated-cycles-per-wall-second metric. The process-wide totals are
+// pure sums of the per-kernel figures (CyclesRun, EventsProcessed), so
+// concurrent kernels — runner-pool sweeps, PDES partitions — never
+// conflate each other's counts.
 var totalCycles atomic.Int64
+
+// totalEvents accumulates the events executed by every kernel in the
+// process, folded in alongside totalCycles (see account).
+var totalEvents atomic.Int64
 
 // TotalCycles reports the simulated cycles executed by all kernels in
 // this process so far. Monotonic; safe for concurrent use.
 func TotalCycles() int64 { return totalCycles.Load() }
+
+// TotalEvents reports the events executed by all kernels in this process
+// so far, folded in at Run/RunUntil boundaries like TotalCycles. It is
+// the numerator of the events-per-second throughput metrics the
+// benchmarks report. Monotonic; safe for concurrent use.
+func TotalEvents() int64 { return totalEvents.Load() }
 
 // event is a callback scheduled at a virtual time. Events with equal
 // timestamps fire in the order they were scheduled (seq breaks ties),
@@ -108,7 +121,10 @@ type Kernel struct {
 	live    int // Procs spawned and not yet finished
 	blocked int // Procs parked on a waiter queue (not a timed event)
 
-	accounted Cycles // cycles already folded into totalCycles
+	eventsDone int64 // events executed by this kernel
+
+	accounted       Cycles // cycles already folded into totalCycles
+	eventsAccounted int64  // events already folded into totalEvents
 
 	deadlock func() string // optional extra diagnostics on deadlock
 }
@@ -120,6 +136,30 @@ func NewKernel() *Kernel {
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Cycles { return k.now }
+
+// EventsProcessed reports the events this kernel has executed so far.
+// Per-instance, so concurrent kernels (runner-pool sweeps, PDES
+// partitions) report their own work; the process-wide TotalEvents is
+// the sum over kernels.
+func (k *Kernel) EventsProcessed() int64 { return k.eventsDone }
+
+// CyclesRun reports the virtual cycles this kernel has advanced so far
+// (kernels start at time zero, so this equals Now). The process-wide
+// TotalCycles is the sum over kernels.
+func (k *Kernel) CyclesRun() Cycles { return k.now }
+
+// Live reports how many Procs have been spawned and not yet finished.
+func (k *Kernel) Live() int { return k.live }
+
+// NextEventAt reports the timestamp of the earliest pending event, or
+// false if the queue is empty. PDES coordinators use it to compute the
+// conservative window horizon without disturbing the queue.
+func (k *Kernel) NextEventAt() (Cycles, bool) {
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].at, true
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past is an error in the caller; it is clamped to "now" to keep the
@@ -157,6 +197,7 @@ func (k *Kernel) Run() error {
 	for len(k.events) > 0 {
 		e := k.events.pop()
 		k.now = e.at
+		k.eventsDone++
 		if e.proc != nil {
 			k.resumeProc(e.proc)
 		} else {
@@ -180,6 +221,7 @@ func (k *Kernel) RunUntil(t Cycles) error {
 	for len(k.events) > 0 && k.events[0].at <= t {
 		e := k.events.pop()
 		k.now = e.at
+		k.eventsDone++
 		if e.proc != nil {
 			k.resumeProc(e.proc)
 		} else {
@@ -193,13 +235,17 @@ func (k *Kernel) RunUntil(t Cycles) error {
 	return nil
 }
 
-// account folds the cycles advanced since the last accounting into the
-// process-wide total. Repeated Run/RunUntil calls on one kernel never
-// double-count.
+// account folds the cycles and events advanced since the last accounting
+// into the process-wide totals. Repeated Run/RunUntil calls on one
+// kernel never double-count.
 func (k *Kernel) account() {
 	if d := k.now - k.accounted; d > 0 {
 		k.accounted = k.now
 		totalCycles.Add(int64(d))
+	}
+	if d := k.eventsDone - k.eventsAccounted; d > 0 {
+		k.eventsAccounted = k.eventsDone
+		totalEvents.Add(d)
 	}
 }
 

@@ -422,3 +422,61 @@ func TestTotalCyclesAccounting(t *testing.T) {
 		t.Fatalf("idle Run changed the account to %d", d)
 	}
 }
+
+// TestPerKernelAccounting: EventsProcessed/CyclesRun are per-instance,
+// NextEventAt peeks without executing, and the process-wide TotalEvents
+// is the sum of the per-kernel counts (no double counting across
+// repeated Run/RunUntil calls).
+func TestPerKernelAccounting(t *testing.T) {
+	k1, k2 := NewKernel(), NewKernel()
+	for _, at := range []Time{10, 20, 30} {
+		k1.At(at, func() {})
+	}
+	k2.At(5, func() {})
+
+	if at, ok := k1.NextEventAt(); !ok || at != 10 {
+		t.Fatalf("NextEventAt = %v,%v before running, want 10,true", at, ok)
+	}
+	if k1.EventsProcessed() != 0 {
+		t.Fatalf("peeking executed %d events", k1.EventsProcessed())
+	}
+
+	before := TotalEvents()
+	if err := k1.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := k1.EventsProcessed(); got != 2 {
+		t.Fatalf("k1 processed %d events after RunUntil(20), want 2", got)
+	}
+	if got := k1.CyclesRun(); got != 20 {
+		t.Fatalf("k1 CyclesRun = %v, want 20", got)
+	}
+	if at, ok := k1.NextEventAt(); !ok || at != 30 {
+		t.Fatalf("NextEventAt = %v,%v mid-run, want 30,true", at, ok)
+	}
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k1.EventsProcessed(); got != 3 {
+		t.Fatalf("k1 processed %d events, want 3", got)
+	}
+	if got := k2.EventsProcessed(); got != 1 {
+		t.Fatalf("k2 processed %d events, want 1", got)
+	}
+	if _, ok := k2.NextEventAt(); ok {
+		t.Fatal("NextEventAt reports an event on a drained kernel")
+	}
+	if d := TotalEvents() - before; d != 4 {
+		t.Fatalf("TotalEvents advanced by %d, want 4 (sum over kernels)", d)
+	}
+	// Idle re-runs account nothing further.
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := TotalEvents() - before; d != 4 {
+		t.Fatalf("idle Run changed the event account to %d", d)
+	}
+}
