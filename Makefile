@@ -3,17 +3,17 @@
 GO ?= go
 
 # PR-numbered benchmark artifact (bump per PR to track the trajectory).
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 
-.PHONY: all verify build test race bench vet doc lint cover faultmatrix pdes reproduce quick serve examples clean
+.PHONY: all verify build test race bench vet doc lint cover faultmatrix pdes cluster reproduce quick serve servegw examples clean
 
 all: build vet lint test race
 
 # Tier-1 verification chain: compile, static checks, doc coverage,
-# simulator invariants, tests, race tests, the fault matrix, and the
-# PDES golden-equality gate.
+# simulator invariants, tests, race tests, the fault matrix, the PDES
+# golden-equality gate, and the sharded-cluster gate.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix && $(MAKE) pdes
+	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix && $(MAKE) pdes && $(MAKE) cluster
 
 # Fail on undocumented exported symbols of the core packages
 # (internal/sim, internal/trace, internal/runner, internal/counters,
@@ -57,6 +57,7 @@ cover:
 faultmatrix:
 	$(GO) test -race -run 'TestFaultInjected|TestJobTimeout|TestPerRequestTimeout|TestKillAndRestart|TestTornStoreWrite|TestMetricsReconcile' ./internal/service
 	$(GO) test -race ./internal/store ./internal/faultinject
+	$(GO) test -race -run 'TestBackendKillMidSweep|TestPeerFetchFailureRecomputes|TestGatewayForwardFaultEvicts' ./internal/gateway
 
 # The partitioned-engine gate: the parsim coordinator unit tests and
 # the serial-vs-PDES golden-equality suite (every experiment at
@@ -64,6 +65,14 @@ faultmatrix:
 pdes:
 	$(GO) test -race ./internal/parsim
 	$(GO) test -race -run 'TestPDES' ./internal/experiments
+
+# The sharded-cluster gate: ring placement properties, membership and
+# merged metrics, and the gateway-plus-backends end-to-end suite (a
+# sweep through sppgw must be byte-identical to one standalone sppd,
+# and peer fetch must warm re-homed keys), all under the race detector.
+cluster:
+	$(GO) test -race ./internal/gateway
+	$(GO) test -race -run 'TestBackendIdentity|TestPeerFetch|TestStoreExport' ./internal/service
 
 # Regenerate every table and figure at paper scale (≈1 minute).
 reproduce:
@@ -78,6 +87,17 @@ quick:
 SPPD_ADDR ?= 127.0.0.1:8177
 serve:
 	$(GO) run ./cmd/sppd -addr $(SPPD_ADDR)
+
+# Sharded cluster on local ports: one sppgw gateway and two sppd
+# backends that join it. Point sppctl at the gateway:
+#   go run ./cmd/sppctl -addr http://127.0.0.1:8178 submit -exp fig6 -quick -wait
+SPPGW_ADDR ?= 127.0.0.1:8178
+servegw:
+	$(GO) build -o /tmp/sppgw ./cmd/sppgw && $(GO) build -o /tmp/sppd ./cmd/sppd
+	/tmp/sppgw -addr $(SPPGW_ADDR) & \
+	/tmp/sppd -addr 127.0.0.1:8181 -join http://$(SPPGW_ADDR) & \
+	/tmp/sppd -addr 127.0.0.1:8182 -join http://$(SPPGW_ADDR) & \
+	wait
 
 examples:
 	$(GO) run ./examples/quickstart

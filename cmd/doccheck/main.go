@@ -37,6 +37,7 @@ var defaultPackages = []string{
 	"internal/store",
 	"internal/faultinject",
 	"internal/parsim",
+	"internal/gateway",
 }
 
 func main() {

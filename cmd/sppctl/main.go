@@ -105,10 +105,13 @@ const (
 )
 
 // do issues one API request, retrying connection errors and 503s (the
-// daemon's overload/draining answer) with exponential backoff + jitter.
-// body is bytes, not a Reader, so every attempt resends the same
-// payload; retrying a submit is safe because jobs are content-addressed
-// (a repeat can only rejoin the same job).
+// daemon's overload/draining answer, or the gateway's no-backends
+// answer) with exponential backoff + jitter. A 503 carrying a
+// Retry-After header — sppgw always sets one — overrides the backoff
+// schedule: the server knows better than the client's fixed curve when
+// capacity returns. body is bytes, not a Reader, so every attempt
+// resends the same payload; retrying a submit is safe because jobs are
+// content-addressed (a repeat can only rejoin the same job).
 func (c *client) do(method, path string, body []byte) (*http.Response, []byte, error) {
 	for attempt := 0; ; attempt++ {
 		resp, data, err := c.doOnce(method, path, body)
@@ -117,6 +120,11 @@ func (c *client) do(method, path string, body []byte) (*http.Response, []byte, e
 			return resp, data, err
 		}
 		delay := backoff(attempt)
+		if err == nil {
+			if ra := retryAfter(resp); ra > 0 {
+				delay = ra
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sppctl: %v; retrying in %v (%d/%d)\n", err, delay, attempt+1, c.retries)
 		} else {
@@ -135,6 +143,25 @@ func backoff(attempt int) time.Duration {
 	}
 	// ±50% jitter: [d/2, 3d/2).
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// retryAfter parses a delay-seconds Retry-After header (the form sppgw
+// and proxies send), capped at retryMax; 0 means absent or not a plain
+// second count (the HTTP-date form is not worth supporting here).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	d := time.Duration(n) * time.Second
+	if d > retryMax {
+		d = retryMax
+	}
+	return d
 }
 
 func (c *client) doOnce(method, path string, body []byte) (*http.Response, []byte, error) {

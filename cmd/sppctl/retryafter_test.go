@@ -1,0 +1,35 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{StatusCode: http.StatusServiceUnavailable, Header: h}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},                 // absent: fall back to backoff
+		{"1", time.Second},      // sppgw's no-backends answer
+		{"30", 5 * time.Second}, // capped at retryMax
+		{"0", 0},                // zero is not a delay
+		{"-3", 0},               // negative rejected
+		{"soon", 0},             // HTTP-date / garbage ignored
+		{"2", 2 * time.Second},  // plain seconds honored
+	}
+	for _, c := range cases {
+		if got := retryAfter(respWithRetryAfter(c.header)); got != c.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

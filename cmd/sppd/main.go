@@ -11,6 +11,7 @@
 //	sppd -jobs 2 -par 4           # 2 concurrent jobs, 4 host workers each
 //	sppd -store /var/lib/sppd     # durable results: survive restarts
 //	sppd -job-timeout 10m         # default per-job execution deadline
+//	sppd -join http://gw:8178     # register as a sppgw cluster backend
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}[/result],
 // DELETE /v1/jobs/{id}, GET /metrics, GET /healthz. See docs/SERVICE.md.
@@ -27,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +47,10 @@ func main() {
 	storeCap := flag.Int("store-cap", 4096, "durable store entries kept, oldest evicted (<=0 = unbounded)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job execution deadline (0 = none; submissions may override)")
 	drain := flag.Duration("drain", 5*time.Minute, "max time to drain jobs on shutdown")
+	join := flag.String("join", "", "sppgw gateway URL to join as a cluster backend (empty = standalone)")
+	advertise := flag.String("advertise", "", "base URL this backend advertises to the gateway (default http://127.0.0.1<port of -addr>)")
+	id := flag.String("id", "", "backend identity in the cluster (default: the advertise address without its scheme)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "registration heartbeat interval when joined")
 	flag.Parse()
 
 	if *par < 0 {
@@ -62,6 +68,19 @@ func main() {
 		Workers:       *jobs,
 		CacheCapacity: *cacheCap,
 		JobTimeout:    *jobTimeout,
+	}
+	if *join != "" {
+		if *advertise == "" {
+			*advertise = defaultAdvertise(*addr)
+		}
+		if *id == "" {
+			*id = strings.TrimPrefix(strings.TrimPrefix(*advertise, "https://"), "http://")
+		}
+		cfg.ID = *id
+		// Warm-miss path: a key re-hashed onto this backend is first
+		// sought on its previous ring owner (via the gateway) before
+		// being recomputed.
+		cfg.PeerFetch = service.PeerFetchVia(*join, *id)
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeCap)
@@ -81,6 +100,12 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	var joiner *service.Joiner
+	if *join != "" {
+		log.Printf("sppd: joining cluster at %s as %q (advertising %s, heartbeat %v)", *join, *id, *advertise, *heartbeat)
+		joiner = service.StartJoiner(*join, *id, *advertise, *heartbeat)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -90,6 +115,11 @@ func main() {
 		log.Fatalf("sppd: %v", err)
 	}
 
+	if joiner != nil {
+		// Leave the ring first so the gateway re-hashes this backend's
+		// keys immediately instead of routing into the drain.
+		joiner.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Stop accepting connections first, then drain the job queue.
@@ -100,4 +130,14 @@ func main() {
 		log.Fatalf("sppd: drain incomplete: %v", err)
 	}
 	log.Printf("sppd: drained cleanly")
+}
+
+// defaultAdvertise derives the URL a backend advertises from its
+// listen address: a bare ":8177" becomes http://127.0.0.1:8177, an
+// explicit host:port is used as given.
+func defaultAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }

@@ -1,0 +1,73 @@
+// Command sppgw fronts a cluster of sppd backends with one HTTP
+// endpoint: jobs are content-addressed (the job id is the SHA-256 of
+// the spec's canonical encoding), so the gateway consistent-hashes
+// every key onto its owning backend, fans list out, and serves a
+// merged /metrics view with exact cluster totals. Backends join with
+// `sppd -join http://<gateway>` and are evicted when their heartbeats
+// stop or a proxied request fails to connect; evicted keys re-hash
+// onto the survivors, where the peer-fetch path turns them into warm
+// hits instead of recomputes.
+//
+// Usage:
+//
+//	sppgw                      # listen on :8178
+//	sppgw -addr :9000          # custom port
+//	sppgw -vnodes 128 -ttl 10s # smoother ring, laxer heartbeat deadline
+//
+// The client-facing API is identical to a single sppd, so sppctl works
+// unchanged: `sppctl -addr http://127.0.0.1:8178 submit ...`. See
+// docs/SERVICE.md for the cluster topology and protocols.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spp1000/internal/gateway"
+	"spp1000/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8178", "listen address")
+	vnodes := flag.Int("vnodes", gateway.DefaultVNodes, "virtual nodes per backend on the consistent-hash ring")
+	ttl := flag.Duration("ttl", 5*time.Second, "heartbeat TTL: a backend silent this long is evicted and its keys re-hash")
+	flag.Parse()
+
+	g := gateway.New(gateway.Config{
+		VNodes:       *vnodes,
+		HeartbeatTTL: *ttl,
+		// The one piece of spec knowledge the gateway needs: how a
+		// submit body hashes. Injected so internal/gateway stays free
+		// of sim-core imports while agreeing with every backend.
+		SubmitKey: service.SubmitKey,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: g.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sppgw: listening on %s (vnodes %d, heartbeat ttl %v); waiting for `sppd -join` backends", *addr, *vnodes, *ttl)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("sppgw: %v, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("sppgw: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("sppgw: http shutdown: %v", err)
+	}
+	log.Printf("sppgw: stopped")
+}

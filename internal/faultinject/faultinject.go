@@ -37,6 +37,22 @@ const (
 	// StoreRead fires in store.Get before the entry file is read.
 	// Arg: the entry file path. A returned error fails the read.
 	StoreRead Point = "store.read"
+
+	// GatewayForward fires in the sppgw gateway immediately before it
+	// proxies a request to a backend. Args: the backend id, then the
+	// request path. A returned error is treated exactly like a
+	// connection failure: the gateway evicts the backend from the ring
+	// and retries against the re-hashed owner — the backend-kill half of
+	// the cluster fault matrix, without needing a real process to die.
+	GatewayForward Point = "gateway.forward"
+
+	// PeerFetch fires in a clustered backend's peer-fetch client
+	// immediately before it asks the gateway for another backend's copy
+	// of a store entry. Arg: the result key. A returned error makes the
+	// peer fetch miss, so the job falls through to a full local
+	// recompute — the peer-fetch-failure half of the cluster fault
+	// matrix (correctness must never depend on the warm path).
+	PeerFetch Point = "service.peerfetch"
 )
 
 // Hook is the test-side handler armed at a Point. args identify the

@@ -1,0 +1,252 @@
+package gateway
+
+// End-to-end cluster acceptance: a sweep through sppgw over sharded
+// backends must be byte-identical to the same sweep against one
+// standalone sppd (sharding is pure routing — it must never touch
+// results), and a key re-homed onto a joining backend must become a
+// warm hit via peer fetch instead of a recompute.
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"spp1000/internal/service"
+	"spp1000/internal/store"
+)
+
+// TestClusterByteIdenticalToSingleDaemon runs the same seed sweep, with
+// the real simulation RunFunc, against a gateway fronting two backends
+// and against one standalone daemon, and compares every result byte
+// for byte. It also pins the ownership surfaces: each job view names
+// its backend, the X-Spp-Backend header matches it, and both backends
+// take a share of the keyspace.
+func TestClusterByteIdenticalToSingleDaemon(t *testing.T) {
+	g, gwts := newTestGateway(t, Config{HeartbeatTTL: time.Hour})
+	backs := map[string]*testBackend{
+		"b1": startBackend(t, g, gwts.URL, "b1", nil),
+		"b2": startBackend(t, g, gwts.URL, "b2", nil),
+	}
+
+	solo := service.New(service.Config{})
+	sots := newSoloServer(t, solo)
+
+	const seeds = 12
+	type submitted struct {
+		id      string
+		backend string
+	}
+	cluster := make(map[int]submitted, seeds)
+	for seed := 1; seed <= seeds; seed++ {
+		v, resp := gwSubmit(t, gwts.URL, seedBody(seed))
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("cluster submit seed %d: %d", seed, resp.StatusCode)
+		}
+		hdr := resp.Header.Get("X-Spp-Backend")
+		if _, ok := backs[hdr]; !ok {
+			t.Fatalf("seed %d: X-Spp-Backend = %q, want b1 or b2", seed, hdr)
+		}
+		cluster[seed] = submitted{id: v.ID, backend: hdr}
+		if sv, resp := gwSubmit(t, sots.URL, seedBody(seed)); resp.StatusCode >= 300 {
+			t.Fatalf("solo submit seed %d: %d", seed, resp.StatusCode)
+		} else if sv.ID != v.ID {
+			t.Fatalf("seed %d keyed %s via gateway but %s solo", seed, v.ID, sv.ID)
+		}
+	}
+
+	for seed := 1; seed <= seeds; seed++ {
+		sub := cluster[seed]
+		v := gwWait(t, gwts.URL, sub.id, "done")
+		if v.Backend != sub.backend {
+			t.Errorf("seed %d: view backend %q != routed backend %q", seed, v.Backend, sub.backend)
+		}
+		gwWait(t, sots.URL, sub.id, "done")
+
+		cres, cresp := gwResult(t, gwts.URL, sub.id)
+		sres, sresp := gwResult(t, sots.URL, sub.id)
+		if cresp.StatusCode != http.StatusOK || sresp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d results: cluster %d, solo %d", seed, cresp.StatusCode, sresp.StatusCode)
+		}
+		if cres != sres {
+			t.Errorf("seed %d: cluster result differs from standalone:\ncluster: %q\nsolo:    %q", seed, cres, sres)
+		}
+		if hdr := cresp.Header.Get("X-Spp-Backend"); hdr != sub.backend {
+			t.Errorf("seed %d: result X-Spp-Backend = %q, want %q", seed, hdr, sub.backend)
+		}
+	}
+
+	for id, b := range backs {
+		if b.runs.Load() == 0 {
+			t.Errorf("backend %s ran nothing: ring not spreading a %d-seed sweep", id, seeds)
+		}
+	}
+
+	// The merged list fans out: all jobs visible through one endpoint,
+	// each naming its owner.
+	resp, err := http.Get(gwts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	views := decodeViews(t, resp.Body)
+	if len(views) != seeds {
+		t.Fatalf("merged list has %d jobs, want %d", len(views), seeds)
+	}
+	for _, v := range views {
+		if _, ok := backs[v.Backend]; !ok {
+			t.Errorf("merged list job %s names backend %q", v.ID, v.Backend)
+		}
+	}
+}
+
+// TestPeerFetchWarmMiss is the warm-migration property: a key computed
+// on the only backend, then re-homed by a join, is served by the new
+// owner from the previous owner's store entry — cached, zero fresh
+// runs — through the gateway's peer endpoint.
+func TestPeerFetchWarmMiss(t *testing.T) {
+	g, gwts := newTestGateway(t, Config{HeartbeatTTL: time.Hour})
+	p1 := startBackend(t, g, gwts.URL, "p1", nil)
+
+	const seeds = 20
+	orig := make(map[int]string, seeds)
+	for seed := 1; seed <= seeds; seed++ {
+		v, resp := gwSubmit(t, gwts.URL, seedBody(seed))
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit seed %d: %d", seed, resp.StatusCode)
+		}
+		gwWait(t, gwts.URL, v.ID, "done")
+		// Capture every result now: after the join, a moved key's status
+		// routes to p2, which won't know the job until it is resubmitted.
+		orig[seed], _ = gwResult(t, gwts.URL, v.ID)
+	}
+	runsBefore := p1.runs.Load()
+	if runsBefore != seeds {
+		t.Fatalf("p1 ran %d jobs, want %d", runsBefore, seeds)
+	}
+
+	p2 := startBackend(t, g, gwts.URL, "p2", nil)
+
+	// Find a seed whose key re-homes onto p2 (the ring is deterministic,
+	// so mirror it: same vnode count, members p1+p2).
+	mirror := NewRing(DefaultVNodes)
+	mirror.Add("p1")
+	mirror.Add("p2")
+	moved := 0
+	for seed := 1; seed <= seeds; seed++ {
+		if owner, _ := mirror.Owner(seedKey(t, seed)); owner != "p2" {
+			continue
+		}
+		moved++
+		v, resp := gwSubmit(t, gwts.URL, seedBody(seed))
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("re-submit seed %d: %d", seed, resp.StatusCode)
+		}
+		if hdr := resp.Header.Get("X-Spp-Backend"); hdr != "p2" {
+			t.Fatalf("re-homed seed %d routed to %q, want p2", seed, hdr)
+		}
+		done := gwWait(t, gwts.URL, v.ID, "done")
+		if !done.Cached {
+			t.Errorf("re-homed seed %d: cached = false, want a peer-warmed hit", seed)
+		}
+		if res, _ := gwResult(t, gwts.URL, v.ID); res != orig[seed] {
+			t.Errorf("re-homed seed %d: result changed across the migration", seed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key re-homed onto p2; widen the seed sweep")
+	}
+	if got := p2.runs.Load(); got != 0 {
+		t.Errorf("p2 ran %d jobs, want 0: every re-homed key should peer-fetch, not recompute", got)
+	}
+	if got := p1.runs.Load(); got != runsBefore {
+		t.Errorf("p1 ran %d more jobs after the join", got-runsBefore)
+	}
+
+	m := gwMetrics(t, gwts.URL)
+	// Every cold miss probes too (p1 asked during the initial sweep and
+	// found no candidates), so requests = initial sweep + re-homed keys
+	// while hits count only the warm migrations.
+	if got := m["sppgw_peer_requests_total"]; got != float64(seeds+moved) {
+		t.Errorf("sppgw_peer_requests_total = %v, want %d", got, seeds+moved)
+	}
+	if got := m["sppgw_peer_hits_total"]; got != float64(moved) {
+		t.Errorf("sppgw_peer_hits_total = %v, want %d", got, moved)
+	}
+	if got := m["sppgw_backend_p2_peer_hits_total"]; got != float64(moved) {
+		t.Errorf("p2 peer_hits_total = %v, want %d", got, moved)
+	}
+	if got := m["sppgw_cluster_peer_hits_total"]; got != float64(moved) {
+		t.Errorf("cluster peer_hits_total = %v, want %d", got, moved)
+	}
+}
+
+// TestStoreExportEndpoint pins the peer wire format end to end: the
+// backend's export endpoint serves the CRC32-framed store encoding,
+// the gateway's peer endpoint relays it intact, and both reject keys
+// Spec.Key could never have minted.
+func TestStoreExportEndpoint(t *testing.T) {
+	g, gwts := newTestGateway(t, Config{HeartbeatTTL: time.Hour})
+	b := startBackend(t, g, gwts.URL, "e1", nil)
+
+	v, resp := gwSubmit(t, gwts.URL, seedBody(1))
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	gwWait(t, gwts.URL, v.ID, "done")
+	want, _ := gwResult(t, gwts.URL, v.ID)
+
+	// Direct export from the backend: a valid frame holding the result.
+	eresp, err := http.Get(b.ts.URL + "/v1/store/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(eresp.Body)
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("store export: %d", eresp.StatusCode)
+	}
+	val, ok := store.Decode(data)
+	if !ok || val != want {
+		t.Fatalf("exported frame decodes (%v) to %q, want %q", ok, val, want)
+	}
+
+	// The gateway's peer endpoint relays the same frame (no exclusion:
+	// the asker here is an outside observer).
+	presp, err := http.Get(gwts.URL + "/v1/peer/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdata, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || string(pdata) != string(data) {
+		t.Fatalf("peer relay: code %d, frame match %v", presp.StatusCode, string(pdata) == string(data))
+	}
+
+	// Unknown-but-valid key: 404 from both layers.
+	missing := seedKey(t, 999999)
+	for _, url := range []string{b.ts.URL + "/v1/store/" + missing, gwts.URL + "/v1/peer/" + missing} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", url, resp.StatusCode)
+		}
+	}
+
+	// Malformed keys: 400 from both layers, reusing store.ValidKey.
+	for _, bad := range []string{"nope", "XYZ", "..%2F..%2Fetc%2Fpasswd"} {
+		for _, url := range []string{b.ts.URL + "/v1/store/" + bad, gwts.URL + "/v1/peer/" + bad} {
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("GET %s: %d, want 400", url, resp.StatusCode)
+			}
+		}
+	}
+}

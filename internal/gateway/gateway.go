@@ -1,0 +1,215 @@
+package gateway
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the gateway.
+type Config struct {
+	// VNodes is the virtual-node count per backend on the consistent-
+	// hash ring (<= 0 selects DefaultVNodes).
+	VNodes int
+	// HeartbeatTTL is how long a backend may stay silent before it is
+	// evicted from the ring: sppd heartbeats once per -heartbeat
+	// interval, so the TTL should cover a few missed beats. Eviction is
+	// lazy (checked on request handling), and a connection failure
+	// while proxying evicts immediately regardless of the TTL. Default
+	// 5s.
+	HeartbeatTTL time.Duration
+	// SubmitKey extracts the content address from a POST /v1/jobs body
+	// — the routing key. cmd/sppgw injects service.SubmitKey here; the
+	// indirection keeps this package free of sim-core imports (the
+	// simlint deps ban) while guaranteeing the gateway and every
+	// backend agree byte-for-byte on how a body hashes. Required for
+	// submit routing; a gateway without it answers submits 500.
+	SubmitKey func(body []byte) (string, error)
+	// Client issues every backend-bound request (proxying, peer
+	// probing, metrics scraping). Default: a client with a 60s timeout
+	// — long enough for a result fetch of a paper-scale run, short
+	// enough that a hung backend cannot wedge the gateway forever.
+	Client *http.Client
+	// Now supplies the wall-clock timestamps behind heartbeat ages and
+	// the uptime metric. Injecting it keeps the membership state
+	// machine clock-free (the wall clock enters at exactly one
+	// annotated spot in withDefaults) and lets tests drive TTL
+	// evictions deterministically. Default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.HeartbeatTTL <= 0 {
+		c.HeartbeatTTL = 5 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if c.Now == nil {
+		//simlint:allow determinism the gateway's single wall-clock source: heartbeat ages and uptime, never routing decisions for a fixed membership
+		c.Now = time.Now
+	}
+	return c
+}
+
+// backend is one registered sppd.
+type backend struct {
+	id       string
+	addr     string // base URL, e.g. http://127.0.0.1:8177
+	lastSeen time.Time
+}
+
+// Gateway owns the ring, the membership table, and the proxy counters.
+// Create with New; it is ready (Handler serves) on return. All methods
+// are safe for concurrent use.
+type Gateway struct {
+	cfg Config
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	ring     *Ring
+
+	started time.Time
+
+	// cumulative counters (atomics: read by /metrics without the lock)
+	requests     atomic.Int64 // every API request handled
+	submits      atomic.Int64 // POST /v1/jobs accepted for routing
+	badSubmits   atomic.Int64 // POST /v1/jobs rejected before routing (400)
+	proxyRetries atomic.Int64 // forwards re-routed after a backend failure
+	evictions    atomic.Int64 // backends removed (TTL, conn failure, or leave)
+	unavailable  atomic.Int64 // 503s served because no backend was live
+	peerRequests atomic.Int64 // GET /v1/peer lookups received
+	peerHits     atomic.Int64 // peer lookups that found a valid entry
+	heartbeats   atomic.Int64 // join/heartbeat posts processed
+}
+
+// New returns a gateway with an empty ring; backends join via
+// POST /v1/backends (sppd -join does this for you).
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	return &Gateway{
+		cfg:      cfg,
+		backends: make(map[string]*backend),
+		ring:     NewRing(cfg.VNodes),
+		started:  cfg.Now(),
+	}
+}
+
+// Register adds or refreshes a backend (join and heartbeat are the
+// same operation: both stamp lastSeen). A re-registration with a new
+// address updates it in place — same ring position, new wire target.
+// It reports the live membership size after the registration.
+func (g *Gateway) Register(id, addr string) int {
+	g.heartbeats.Add(1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.backends[id]
+	if !ok {
+		b = &backend{id: id}
+		g.backends[id] = b
+		g.ring.Add(id)
+	}
+	b.addr = addr
+	b.lastSeen = g.cfg.Now()
+	return len(g.backends)
+}
+
+// Deregister removes a backend immediately (the graceful-shutdown
+// path: sppd's Joiner calls DELETE /v1/backends/{id} on Close, so its
+// keys re-hash without waiting out the TTL). Unknown ids are a no-op.
+func (g *Gateway) Deregister(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(id)
+}
+
+// evictLocked removes id from the table and the ring, counting the
+// eviction. Callers hold g.mu.
+func (g *Gateway) evictLocked(id string) {
+	if _, ok := g.backends[id]; !ok {
+		return
+	}
+	delete(g.backends, id)
+	g.ring.Remove(id)
+	g.evictions.Add(1)
+}
+
+// evict removes a backend discovered dead mid-request (connection
+// failure while proxying): its keys re-hash onto the survivors, which
+// is always safe — jobs are pure and re-runnable — and usually warm,
+// via the peer-fetch path.
+func (g *Gateway) evict(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.evictLocked(id)
+}
+
+// prune evicts every backend whose heartbeat is older than the TTL.
+// Called lazily at the top of request handling, so membership decays
+// without a background goroutine (and deterministically under an
+// injected clock).
+func (g *Gateway) prune() {
+	cutoff := g.cfg.Now().Add(-g.cfg.HeartbeatTTL)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for id, b := range g.backends {
+		if b.lastSeen.Before(cutoff) {
+			g.evictLocked(id)
+		}
+	}
+}
+
+// ownerFor resolves key's current owner, pruning stale members first.
+func (g *Gateway) ownerFor(key string) (backend, bool) {
+	g.prune()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id, ok := g.ring.Owner(key)
+	if !ok {
+		return backend{}, false
+	}
+	return *g.backends[id], true
+}
+
+// candidatesFor resolves key's peer-probe order: every live backend in
+// ring preference order, skipping exclude (the asking backend itself).
+func (g *Gateway) candidatesFor(key, exclude string) []backend {
+	g.prune()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []backend
+	for _, id := range g.ring.Owners(key) {
+		if id != exclude {
+			out = append(out, *g.backends[id])
+		}
+	}
+	return out
+}
+
+// BackendView is the wire representation of one registered backend.
+type BackendView struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// AgeSeconds is how long ago the last heartbeat arrived.
+	AgeSeconds float64 `json:"ageSeconds"`
+}
+
+// Backends snapshots the live membership, sorted by id, pruning
+// TTL-stale members first.
+func (g *Gateway) Backends() []BackendView {
+	g.prune()
+	now := g.cfg.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]BackendView, 0, len(g.backends))
+	for _, b := range g.backends {
+		out = append(out, BackendView{ID: b.id, Addr: b.addr, AgeSeconds: now.Sub(b.lastSeen).Seconds()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,293 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"spp1000/internal/faultinject"
+	"spp1000/internal/store"
+)
+
+// maxSubmitBody bounds a submit body read at the gateway; sppd bodies
+// are a few hundred bytes, so 1 MiB is generous admission control.
+const maxSubmitBody = 1 << 20
+
+// Handler returns the gateway's HTTP API. The job-facing routes mirror
+// sppd exactly — sppctl pointed at a gateway needs no new flags — plus
+// the cluster-control routes backends and peers use:
+//
+//	POST   /v1/jobs             submit: route by content key to the owner
+//	GET    /v1/jobs             list: fan out to every backend, merge
+//	GET    /v1/jobs/{id}        status: route by id (the id IS the key)
+//	GET    /v1/jobs/{id}/result result: route by id
+//	DELETE /v1/jobs/{id}        cancel: route by id
+//	POST   /v1/backends         backend join/heartbeat {id, addr}
+//	DELETE /v1/backends/{id}    graceful leave (immediate re-hash)
+//	GET    /v1/backends         live membership view
+//	GET    /v1/peer/{key}       peer fetch: previous owner's store entry
+//	GET    /metrics             merged per-backend + cluster-total view
+//	GET    /healthz             gateway liveness probe
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", g.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleByID)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleByID)
+	mux.HandleFunc("POST /v1/backends", g.handleJoin)
+	mux.HandleFunc("DELETE /v1/backends/{id}", g.handleLeave)
+	mux.HandleFunc("GET /v1/backends", g.handleBackends)
+	mux.HandleFunc("GET /v1/peer/{key}", g.handlePeer)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (g *Gateway) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID   string `json:"id"`
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxSubmitBody)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad join body: %w", err))
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("join needs both id and addr"))
+		return
+	}
+	n := g.Register(req.ID, req.Addr)
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "backends": n})
+}
+
+func (g *Gateway) handleLeave(w http.ResponseWriter, r *http.Request) {
+	g.Deregister(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Backends())
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if g.cfg.SubmitKey == nil {
+		writeErr(w, http.StatusInternalServerError, errors.New("gateway has no SubmitKey configured"))
+		return
+	}
+	// Admission control: a body no backend could accept is rejected
+	// here, before it costs a hop — and the key it yields is the same
+	// one the owning backend will derive, so routing and caching agree.
+	key, err := g.cfg.SubmitKey(body)
+	if err != nil {
+		g.badSubmits.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	g.submits.Add(1)
+	g.forward(w, key, http.MethodPost, "/v1/jobs", body)
+}
+
+func (g *Gateway) handleByID(w http.ResponseWriter, r *http.Request) {
+	g.forward(w, r.PathValue("id"), r.Method, "/v1/jobs/"+r.PathValue("id"), nil)
+}
+
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.forward(w, id, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+}
+
+// forward routes one request to key's owning backend and relays the
+// response. A connection-level failure evicts the backend and retries
+// against the re-hashed owner — safe for every routed verb, because
+// jobs are pure and content-addressed (a re-sent submit can only
+// rejoin or recompute the same job; after an eviction the new owner
+// may answer a status poll 404, which clients fix by resubmitting the
+// same body). With no live backend the gateway answers 503 with a
+// Retry-After, which sppctl's backoff honors.
+func (g *Gateway) forward(w http.ResponseWriter, key, method, path string, body []byte) {
+	for {
+		b, ok := g.ownerFor(key)
+		if !ok {
+			g.unavailable.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, errors.New("no live backends (start sppd -join, or wait for one to register)"))
+			return
+		}
+		resp, data, err := g.roundTrip(b, method, path, body)
+		if err != nil {
+			g.evict(b.id)
+			g.proxyRetries.Add(1)
+			continue
+		}
+		for name, vals := range resp.Header {
+			for _, v := range vals {
+				w.Header().Add(name, v)
+			}
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+			// A backend's own overload answer (queue full, draining):
+			// relay it, but teach pollers when to come back.
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data)
+		return
+	}
+}
+
+// roundTrip issues one backend request. The faultinject point lets the
+// cluster fault matrix simulate a dead backend (its error is treated
+// exactly like a refused connection) without killing a process.
+func (g *Gateway) roundTrip(b backend, method, path string, body []byte) (*http.Response, []byte, error) {
+	if err := faultinject.Fire(faultinject.GatewayForward, b.id, path); err != nil {
+		return nil, nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, b.addr+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// handleList fans GET /v1/jobs out to every live backend and merges
+// the tables into one view, sorted by submission time then id so the
+// merged order is stable and meaningful. Backends are treated as
+// opaque JSON (the "backend" field each job already carries names its
+// owner); one that fails to answer is evicted and skipped — a partial
+// list from the survivors beats a failed one.
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	g.prune()
+	type row struct {
+		at  time.Time
+		id  string
+		raw json.RawMessage
+	}
+	var rows []row
+	for _, b := range g.liveSorted() {
+		resp, data, err := g.roundTrip(b, http.MethodGet, "/v1/jobs", nil)
+		if err != nil {
+			g.evict(b.id)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var views []json.RawMessage
+		if json.Unmarshal(data, &views) != nil {
+			continue
+		}
+		for _, v := range views {
+			var meta struct {
+				ID          string `json:"id"`
+				SubmittedAt string `json:"submittedAt"`
+			}
+			json.Unmarshal(v, &meta)
+			at, _ := time.Parse(time.RFC3339Nano, meta.SubmittedAt)
+			rows = append(rows, row{at: at, id: meta.ID, raw: v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if !rows[i].at.Equal(rows[j].at) {
+			return rows[i].at.Before(rows[j].at)
+		}
+		return rows[i].id < rows[j].id
+	})
+	out := make([]json.RawMessage, len(rows))
+	for i, r := range rows {
+		out[i] = r.raw
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePeer serves the warm-miss path: a backend that just inherited
+// key asks here, and the gateway probes the other live backends in
+// ring preference order — after a join, the first candidate past the
+// asker is exactly the key's previous owner — relaying the first
+// CRC-valid framed entry it finds. 404 means nobody has it and the
+// asker should compute; malformed keys are 400 (reusing the store's
+// key validation) because Spec.Key could never have minted them.
+func (g *Gateway) handlePeer(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed result key %q: want the lowercase-hex content address", key))
+		return
+	}
+	g.peerRequests.Add(1)
+	exclude := r.URL.Query().Get("exclude")
+	for _, b := range g.candidatesFor(key, exclude) {
+		resp, data, err := g.roundTrip(b, http.MethodGet, "/v1/store/"+key, nil)
+		if err != nil {
+			g.evict(b.id)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if _, ok := store.Decode(data); !ok {
+			continue // corrupt in transit or at rest; let the asker recompute
+		}
+		g.peerHits.Add(1)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+		return
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no peer holds %s", key))
+}
+
+// liveSorted snapshots the live backends sorted by id (deterministic
+// fan-out and metrics order).
+func (g *Gateway) liveSorted() []backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -94,6 +94,7 @@ var HostPackages = []string{
 	"internal/resultcache",
 	"internal/store",
 	"internal/faultinject",
+	"internal/gateway",
 	"internal/lint",
 }
 
@@ -105,6 +106,7 @@ var HostPackages = []string{
 var SimIndependentPackages = []string{
 	"internal/store",
 	"internal/faultinject",
+	"internal/gateway",
 }
 
 // SimIndependent reports whether the full import path is one of the

@@ -5,16 +5,19 @@ import "strconv"
 // Deps enforces the sim-independence of the durable infrastructure
 // packages listed in SimIndependentPackages: they must not import any
 // sim-core package. internal/store persists results across daemon
-// restarts and internal/faultinject is armed by tests against a live
-// daemon — both must stay loadable, testable, and reasoned about
+// restarts, internal/faultinject is armed by tests against a live
+// daemon, and internal/gateway shards opaque content keys across
+// backends — all must stay loadable, testable, and reasoned about
 // without dragging the deterministic kernel in, and the kernel must
-// never grow a back-edge to them (a store or fault hook reachable from
-// sim-core would let host state leak into simulation results). The ban
-// is one-directional and structural, so it is checked at the import
-// graph, not at call sites.
+// never grow a back-edge to them (a store, fault hook, or routing
+// decision reachable from sim-core would let host state leak into
+// simulation results). The gateway's one real spec need — turning a
+// submit body into a key — is injected by cmd/sppgw precisely so this
+// ban can hold. The ban is one-directional and structural, so it is
+// checked at the import graph, not at call sites.
 var Deps = &Analyzer{
 	Name: "deps",
-	Doc:  "forbid sim-core imports in sim-independent infrastructure packages (internal/store, internal/faultinject)",
+	Doc:  "forbid sim-core imports in sim-independent infrastructure packages (internal/store, internal/faultinject, internal/gateway)",
 	Run:  runDeps,
 }
 

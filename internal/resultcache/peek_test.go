@@ -1,0 +1,79 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// mapBacking is an in-memory Backing with an optional injected error.
+type mapBacking struct {
+	m   map[string]string
+	err error
+}
+
+func (b *mapBacking) Get(key string) (string, bool, error) {
+	if b.err != nil {
+		return "", false, b.err
+	}
+	v, ok := b.m[key]
+	return v, ok, nil
+}
+
+func (b *mapBacking) Put(key, val string) error { return nil }
+
+// TestPeekHasNoSideEffects pins Peek's contract for the cluster peer
+// endpoint: it reads memory and the backing, but moves no statistics
+// and promotes nothing — a fleet of peers probing this node must not
+// inflate its hit ratio or reshape its memory tier.
+func TestPeekHasNoSideEffects(t *testing.T) {
+	b := &mapBacking{m: map[string]string{"deep": "durable-val"}}
+	c := NewWithBacking(0, b)
+	if _, _, err := c.Do(context.Background(), "mem", func() (string, error) { return "mem-val", nil }); err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := c.Stats()
+	lenBefore := c.Len()
+
+	if v, ok := c.Peek("mem"); !ok || v != "mem-val" {
+		t.Fatalf("Peek(mem) = %q, %v", v, ok)
+	}
+	if v, ok := c.Peek("deep"); !ok || v != "durable-val" {
+		t.Fatalf("Peek(deep) = %q, %v", v, ok)
+	}
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatal("Peek(absent) claimed a hit")
+	}
+
+	if got := c.Stats(); got != statsBefore {
+		t.Fatalf("Peek moved statistics: %+v -> %+v", statsBefore, got)
+	}
+	if got := c.Len(); got != lenBefore {
+		t.Fatalf("Peek promoted into memory: Len %d -> %d", lenBefore, got)
+	}
+	// Contrast: Lookup is the counted path and does promote.
+	if v, ok := c.Lookup("deep"); !ok || v != "durable-val" {
+		t.Fatalf("Lookup(deep) = %q, %v", v, ok)
+	}
+	after := c.Stats()
+	if after.Hits != statsBefore.Hits+1 || after.BackingHits != statsBefore.BackingHits+1 {
+		t.Fatalf("Lookup stats = %+v, want one hit and one backing hit over %+v", after, statsBefore)
+	}
+	if c.Len() != lenBefore+1 {
+		t.Fatalf("Lookup did not promote: Len %d", c.Len())
+	}
+}
+
+// TestPeekBackingErrorReadsAsAbsent: a failing durable tier must make
+// peer probes miss, not fail — the prober's fallback (recompute) is
+// always correct.
+func TestPeekBackingErrorReadsAsAbsent(t *testing.T) {
+	b := &mapBacking{m: map[string]string{"k": "v"}, err: errors.New("disk gone")}
+	c := NewWithBacking(0, b)
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("Peek returned a value through a failing backing")
+	}
+	if got := c.Stats(); got.BackingErrors != 0 {
+		t.Fatalf("Peek counted a backing error (%+v); it must be side-effect free", got)
+	}
+}

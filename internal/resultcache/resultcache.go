@@ -151,6 +151,27 @@ func (c *Cache) Lookup(key string) (string, bool) {
 	return val, true
 }
 
+// Peek reports the result under key — memory first, then the durable
+// backing — with no side effects: no statistics move and nothing is
+// promoted into memory. It serves the cluster's peer-export endpoint,
+// where other backends probe for entries they might copy; those probes
+// must not inflate this node's hit ratio or reshape its cache. A
+// backing read error reads as absent (the prober falls back to
+// recomputing, which is always correct).
+func (c *Cache) Peek(key string) (string, bool) {
+	if val, ok := c.Get(key); ok {
+		return val, true
+	}
+	if c.backing == nil {
+		return "", false
+	}
+	val, ok, err := c.backing.Get(key)
+	if err != nil || !ok {
+		return "", false
+	}
+	return val, true
+}
+
 // promote installs a backing-store payload as a completed in-memory
 // entry (no-op if key raced into existence meanwhile).
 func (c *Cache) promote(key, val string) {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"spp1000/internal/experiments"
+	"spp1000/internal/store"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -17,8 +19,12 @@ import (
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result rendered result (202 while pending)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/store/{key}      framed store entry export (peer fetch)
 //	GET    /metrics             plaintext gauges and counters
 //	GET    /healthz             liveness probe
+//
+// When Config.ID is set (a clustered backend), every response carries
+// an X-Spp-Backend header naming this daemon.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -26,12 +32,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/store/{key}", s.handleStoreExport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	if s.cfg.ID == "" {
+		return mux
+	}
+	id := s.cfg.ID
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Spp-Backend", id)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleStoreExport serves one content-addressed result in the store's
+// CRC32-framed entry encoding — the cluster's peer-fetch payload. It is
+// a pure peek: no cache statistics move, nothing is promoted, so peers
+// probing for entries cannot distort this backend's hit ratio. Unknown
+// keys are 404 (the prober recomputes); malformed keys are 400 — they
+// could never have been minted by Spec.Key, so the request is a bug.
+func (s *Server) handleStoreExport(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed result key %q: want the lowercase-hex content address", key))
+		return
+	}
+	val, ok := s.cache.Peek(key)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no store entry for %s", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(store.Encode(val))
+}
+
+// SubmitKey parses a POST /v1/jobs body exactly as the daemon itself
+// does — alias expansion, option defaults, normalization — and returns
+// the content address the resulting job would get. sppgw routes
+// submissions with it: the gateway stays ignorant of the experiment
+// vocabulary (it is injected as gateway.Config.SubmitKey by cmd/sppgw)
+// while still agreeing byte-for-byte with every backend about which
+// key a body hashes to.
+func SubmitKey(body []byte) (string, error) {
+	var req submitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("bad request body: %w", err)
+	}
+	spec, err := specFromRequest(req)
+	if err != nil {
+		return "", err
+	}
+	return spec.Key(), nil
 }
 
 // submitRequest is the POST /v1/jobs body. Options may be omitted:

@@ -1,0 +1,143 @@
+package service
+
+// The cluster side of a backend daemon: a Joiner registers this sppd
+// with a sppgw gateway and keeps the registration alive with periodic
+// heartbeats, and PeerFetchVia builds the Config.PeerFetch hook that
+// turns re-hashed keys into warm hits by copying the previous ring
+// owner's store entry through the gateway. Both are deliberately thin
+// HTTP clients: membership truth lives in the gateway, and the daemon
+// keeps running (standalone-degraded) if the gateway is unreachable.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"spp1000/internal/faultinject"
+	"spp1000/internal/store"
+)
+
+// Joiner keeps one backend registered with a sppgw gateway: an
+// immediate registration on start, then one heartbeat per interval
+// until Close, which deregisters so the gateway re-hashes this
+// backend's keys right away instead of waiting out the TTL. Create
+// with StartJoiner.
+type Joiner struct {
+	gateway  string
+	id       string
+	addr     string
+	interval time.Duration
+	client   *http.Client
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartJoiner registers the backend (id, advertising advertiseAddr as
+// its base URL) with the gateway at gatewayURL and heartbeats every
+// interval (<= 0 defaults to 1s) until Close. Registration failures
+// are retried on the next tick — a backend that comes up before its
+// gateway joins as soon as the gateway answers.
+func StartJoiner(gatewayURL, id, advertiseAddr string, interval time.Duration) *Joiner {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	j := &Joiner{
+		gateway:  strings.TrimRight(gatewayURL, "/"),
+		id:       id,
+		addr:     advertiseAddr,
+		interval: interval,
+		client:   &http.Client{Timeout: 5 * time.Second},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go j.loop()
+	return j
+}
+
+func (j *Joiner) loop() {
+	defer close(j.done)
+	j.register()
+	//simlint:allow determinism the heartbeat cadence is host liveness protocol, not simulation state; results never depend on it
+	t := time.NewTicker(j.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			j.register()
+		}
+	}
+}
+
+// register sends one join/heartbeat; errors are swallowed (the next
+// tick retries, and the gateway treats join and heartbeat identically).
+func (j *Joiner) register() {
+	body, err := json.Marshal(map[string]string{"id": j.id, "addr": j.addr})
+	if err != nil {
+		return
+	}
+	resp, err := j.client.Post(j.gateway+"/v1/backends", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Close stops the heartbeat loop and best-effort deregisters from the
+// gateway, so the ring re-hashes this backend's keys immediately on a
+// graceful shutdown rather than after the heartbeat TTL.
+func (j *Joiner) Close() {
+	close(j.stop)
+	<-j.done
+	req, err := http.NewRequest(http.MethodDelete, j.gateway+"/v1/backends/"+url.PathEscape(j.id), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := j.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// PeerFetchVia builds the Config.PeerFetch hook for a clustered
+// backend: on a local miss it asks the gateway at gatewayURL for
+// another backend's copy of the entry (GET /v1/peer/{key}, excluding
+// selfID so a backend never asks for its own), validates the CRC32
+// frame end to end, and returns the payload. Every failure — armed
+// fault hook, transport error, non-200, corrupt frame — reads as a
+// miss: the warm path is an optimization, and correctness always has
+// the local recompute to fall back on.
+func PeerFetchVia(gatewayURL, selfID string) func(ctx context.Context, key string) (string, bool) {
+	base := strings.TrimRight(gatewayURL, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	return func(ctx context.Context, key string) (string, bool) {
+		// Test-only fault injection: the cluster fault matrix arms this
+		// point to prove a failed peer fetch degrades to a recompute.
+		if err := faultinject.Fire(faultinject.PeerFetch, key); err != nil {
+			return "", false
+		}
+		u := fmt.Sprintf("%s/v1/peer/%s?exclude=%s", base, url.PathEscape(key), url.QueryEscape(selfID))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return "", false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", false
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return "", false
+		}
+		return store.Decode(data)
+	}
+}

@@ -38,6 +38,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("jobs_queued", "%d", s.queuedN.Load())
 	p("jobs_running", "%d", s.runningN.Load())
 	p("jobs_done_total", "%d", s.done.Load())
+	p("jobs_done_cached_total", "%d", s.doneCached.Load())
 	p("jobs_failed_total", "%d", s.failed.Load())
 	p("jobs_canceled_total", "%d", s.canceled.Load())
 	p("jobs_timeout_total", "%d", s.timedout.Load())
@@ -49,6 +50,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("cache_hit_ratio", "%.4f", cs.HitRatio())
 	p("store_hits_total", "%d", cs.BackingHits)
 	p("store_errors_total", "%d", cs.BackingErrors)
+	p("peer_hits_total", "%d", s.peerHits.Load())
 	p("busy_seconds_total", "%.3f", float64(s.busyNanos.Load())/1e9)
 	p("sim_cycles_total", "%d", cycles)
 	p("sim_cycles_per_wall_second", "%.0f", perSec)

@@ -77,6 +77,21 @@ type Config struct {
 	// store serves prior results as cache hits with no simulation run.
 	// nil (the default) keeps results memory-only.
 	Store resultcache.Backing
+	// ID names this daemon in a sppgw cluster. When set it is echoed as
+	// the "backend" field of every job view and as the X-Spp-Backend
+	// response header, so a misrouted request — a key the ring says
+	// belongs elsewhere — is immediately diagnosable from either the
+	// JSON or the wire. Empty (the default) for a standalone daemon.
+	ID string
+	// PeerFetch, when set, is consulted before a job whose result is
+	// unknown locally is computed: in a cluster it asks the gateway for
+	// the previous ring owner's store entry, so a key re-hashed onto
+	// this backend (after a join or an eviction) becomes a warm hit
+	// instead of a recompute. It must return the exact prior payload and
+	// true, or ("", false) to compute locally; it is trust-but-verify —
+	// the transport validates the CRC32 frame before the payload gets
+	// here. nil (the default) always computes locally.
+	PeerFetch func(ctx context.Context, key string) (string, bool)
 	// Now supplies the wall-clock timestamps stamped onto job lifecycle
 	// views (submittedAt/startedAt/finishedAt) and the uptime metric.
 	// Injecting it here keeps the daemon's state machine free of direct
@@ -172,16 +187,18 @@ type Server struct {
 	sim *counters.Collector
 
 	// cumulative counters (atomics: read by /metrics without the lock)
-	submitted atomic.Int64 // all submissions (incl. deduped and rejected)
-	deduped   atomic.Int64 // submissions answered by an existing job
-	rejected  atomic.Int64 // submissions refused (queue full or draining)
-	done      atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	timedout  atomic.Int64
-	queuedN   atomic.Int64 // gauge
-	runningN  atomic.Int64 // gauge
-	busyNanos atomic.Int64 // summed wall time of job executions
+	submitted  atomic.Int64 // all submissions (incl. deduped and rejected)
+	deduped    atomic.Int64 // submissions answered by an existing job
+	rejected   atomic.Int64 // submissions refused (queue full or draining)
+	done       atomic.Int64
+	doneCached atomic.Int64 // done transitions answered without a fresh simulation
+	peerHits   atomic.Int64 // done transitions answered by a peer-fetched entry
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	timedout   atomic.Int64
+	queuedN    atomic.Int64 // gauge
+	runningN   atomic.Int64 // gauge
+	busyNanos  atomic.Int64 // summed wall time of job executions
 }
 
 // New starts a server with cfg's worker pool running.
@@ -292,6 +309,7 @@ func (s *Server) Submit(spec experiments.Spec, timeout time.Duration) (JobView, 
 		j.finished = j.submitted
 		s.insertLocked(j)
 		s.done.Add(1)
+		s.doneCached.Add(1)
 		return s.viewLocked(j), nil
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
@@ -371,11 +389,26 @@ func (s *Server) runJob(j *job) {
 	// empty or partial by design.
 	jobCol := counters.NewCollector()
 	counters.Attach(jobCol)
+	// peerFetched is written only inside fn, which Do runs synchronously
+	// on this goroutine (followers coalesce, they never call fn), so a
+	// plain bool is race-free.
+	peerFetched := false
 	res, outcome, err := s.cache.Do(runCtx, j.id, func() (string, error) {
 		// Test-only fault injection: the fault-matrix suite arms this
 		// point to delay runs (filling the queue) or fail them.
 		if err := faultinject.Fire(faultinject.RunStart, j.id); err != nil {
 			return "", err
+		}
+		// Cluster warm path: a key that re-hashed onto this backend may
+		// already be computed on its previous ring owner — copy the
+		// entry instead of re-simulating. The returned value flows
+		// through the cache's write-through, so the entry migrates into
+		// this backend's own store and the next hit is purely local.
+		if pf := s.cfg.PeerFetch; pf != nil {
+			if val, ok := pf(runCtx, j.id); ok {
+				peerFetched = true
+				return val, nil
+			}
 		}
 		return s.cfg.Run(runCtx, j.spec)
 	})
@@ -390,13 +423,19 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.status = StatusDone
 		j.result = res
-		j.cached = outcome == resultcache.Hit
+		j.cached = outcome == resultcache.Hit || peerFetched
 		if !j.cached {
 			if flat := jobCol.Snapshot().Flatten(); len(flat) > 0 {
 				j.counters = flat
 			}
 		}
 		s.done.Add(1)
+		if j.cached {
+			s.doneCached.Add(1)
+		}
+		if peerFetched {
+			s.peerHits.Add(1)
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusTimeout
 		j.errMsg = err.Error()
@@ -535,8 +574,13 @@ type JobView struct {
 	Status      string   `json:"status"`
 	// Cached is true when the result came from the content-addressed
 	// cache rather than a fresh simulation.
-	Cached      bool   `json:"cached"`
-	Error       string `json:"error,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	// Backend is the cluster identity (Config.ID / sppd -id) of the
+	// daemon that owns this job, present when the daemon runs behind a
+	// sppgw gateway. Paired with the X-Spp-Backend response header it
+	// makes misrouted requests diagnosable from either side of the wire.
+	Backend     string `json:"backend,omitempty"`
 	SubmittedAt string `json:"submittedAt,omitempty"`
 	StartedAt   string `json:"startedAt,omitempty"`
 	FinishedAt  string `json:"finishedAt,omitempty"`
@@ -554,6 +598,7 @@ func (s *Server) viewLocked(j *job) JobView {
 		Status:      string(j.status),
 		Cached:      j.cached,
 		Error:       j.errMsg,
+		Backend:     s.cfg.ID,
 	}
 	if len(j.counters) > 0 {
 		v.Counters = make(map[string]int64, len(j.counters))

@@ -1,0 +1,55 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEncodeDecodeRoundtrip pins the exported frame codec the cluster
+// peer protocol ships over the wire: Encode's output is exactly what
+// Put writes to disk, and Decode accepts it back byte for byte.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, val := range []string{
+		"",
+		"x",
+		"=== tab1 ===\nmultiline result\nwith trailing newline\n",
+		strings.Repeat("block ", 10000),
+		"binary-ish \x00\x01\xff bytes",
+	} {
+		frame := Encode(val)
+		got, ok := Decode(frame)
+		if !ok || got != val {
+			t.Fatalf("Decode(Encode(%.20q)) = %.20q, %v", val, got, ok)
+		}
+		if !bytes.HasPrefix(frame, []byte(magic+" ")) {
+			t.Fatalf("frame lacks the %s magic: %.40q", magic, frame)
+		}
+	}
+}
+
+// TestDecodeRejectsTampering proves the CRC frame catches the damage
+// peer fetch must survive: flipped payload bytes, truncation, wrong
+// magic, and garbage all read as invalid rather than as a wrong result.
+func TestDecodeRejectsTampering(t *testing.T) {
+	frame := Encode("the one true result\n")
+	cases := map[string][]byte{
+		"empty":           {},
+		"garbage":         []byte("not a frame at all"),
+		"wrong magic":     append([]byte("xppstore1"), frame[len(magic):]...),
+		"truncated":       frame[:len(frame)-3],
+		"flipped payload": flipLastByte(frame),
+		"length lies":     []byte(magic + " 00000000 5\nthe one true result\n"),
+	}
+	for name, data := range cases {
+		if val, ok := Decode(data); ok {
+			t.Errorf("%s: Decode accepted tampered frame, returned %q", name, val)
+		}
+	}
+}
+
+func flipLastByte(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[len(out)-1] ^= 0xff
+	return out
+}

@@ -94,7 +94,7 @@ func Open(dir string, capacity int) (*Store, error) {
 			continue
 		}
 		key, ok := strings.CutSuffix(name, entrySuffix)
-		if !ok || !validKey(key) {
+		if !ok || !ValidKey(key) {
 			continue // foreign file; leave it alone
 		}
 		info, err := de.Info()
@@ -109,9 +109,12 @@ func Open(dir string, capacity int) (*Store, error) {
 	return s, nil
 }
 
-// validKey accepts lowercase-hex content addresses (what Spec.Key
+// ValidKey accepts lowercase-hex content addresses (what Spec.Key
 // emits). Anything else is rejected so keys can never traverse paths.
-func validKey(key string) bool {
+// It is exported for the cluster layer: the gateway's peer endpoint and
+// the daemon's store-export endpoint reject malformed keys with it
+// before any lookup happens.
+func ValidKey(key string) bool {
 	if len(key) == 0 || len(key) > 128 {
 		return false
 	}
@@ -143,7 +146,7 @@ func (s *Store) Len() int {
 // next Open) and readers never see partial entries. Oldest entries are
 // evicted beyond the capacity bound.
 func (s *Store) Put(key, val string) error {
-	if !validKey(key) {
+	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
 	f, err := os.CreateTemp(s.dir, tmpPrefix+key+"-*")
@@ -151,7 +154,7 @@ func (s *Store) Put(key, val string) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp := f.Name()
-	_, err = fmt.Fprintf(f, "%s %08x %d\n%s", magic, crc32.ChecksumIEEE([]byte(val)), len(val), val)
+	_, err = f.Write(Encode(val))
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -185,7 +188,7 @@ func (s *Store) Put(key, val string) error {
 // is deleted and reported as a miss so callers recompute instead of
 // serving damaged bytes; only host I/O errors surface as err.
 func (s *Store) Get(key string) (string, bool, error) {
-	if !validKey(key) {
+	if !ValidKey(key) {
 		return "", false, fmt.Errorf("store: invalid key %q", key)
 	}
 	path := s.path(key)
@@ -207,6 +210,24 @@ func (s *Store) Get(key string) (string, bool, error) {
 	}
 	s.count(&s.hits)
 	return val, true, nil
+}
+
+// Encode frames a payload in the store's entry format: a one-line
+// `sppstore1 <crc32> <len>` header followed by the raw bytes. The same
+// framing serves two jobs — the on-disk entry file, and the wire format
+// of the cluster's peer-fetch protocol, where the CRC lets a receiving
+// backend validate a copied entry end to end before trusting it.
+func Encode(val string) []byte {
+	return []byte(fmt.Sprintf("%s %08x %d\n%s", magic, crc32.ChecksumIEEE([]byte(val)), len(val), val))
+}
+
+// Decode validates one framed entry — header shape, declared length,
+// CRC32 — and extracts the payload. It is the inverse of Encode and the
+// only sanctioned way to accept entry bytes from disk or from a peer:
+// anything that fails validation is reported false and must be treated
+// as absent, never served.
+func Decode(data []byte) (string, bool) {
+	return decode(data)
 }
 
 // decode validates one entry file's frame and extracts the payload.
