@@ -2,18 +2,20 @@
 
 GO ?= go
 
-# PR-numbered benchmark artifact (bump per PR to track the trajectory).
-BENCH_JSON ?= BENCH_7.json
+# PR-numbered performance artifacts (bump per PR to track the trajectory).
+BENCH_JSON ?= BENCH_8.json
+LOAD_JSON ?= LOAD_8.json
 
-.PHONY: all verify build test race bench vet doc lint cover faultmatrix pdes cluster reproduce quick serve servegw examples clean
+.PHONY: all verify build test race bench loadcheck vet doc lint cover faultmatrix pdes cluster reproduce quick serve servegw examples clean
 
 all: build vet lint test race
 
 # Tier-1 verification chain: compile, static checks, doc coverage,
 # simulator invariants, tests, race tests, the fault matrix, the PDES
-# golden-equality gate, and the sharded-cluster gate.
+# golden-equality gate, the sharded-cluster gate, and the load-harness
+# + perf-trend gate.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix && $(MAKE) pdes && $(MAKE) cluster
+	$(GO) build ./... && $(GO) vet ./... && $(GO) run ./cmd/doccheck && $(GO) run ./cmd/simlint && $(GO) test ./... && $(GO) test -race ./... && $(MAKE) faultmatrix && $(MAKE) pdes && $(MAKE) cluster && $(MAKE) loadcheck
 
 # Fail on undocumented exported symbols of the core packages
 # (internal/sim, internal/trace, internal/runner, internal/counters,
@@ -47,6 +49,20 @@ bench:
 	$(GO) test -bench=. -benchmem -run=NONE . ./internal/sim ./internal/counters ./internal/memsys | tee bench.txt
 	$(GO) run ./cmd/benchjson < bench.txt > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# The load-harness + perf-trend gate: start a fresh sppd, drive the
+# bounded closed-loop sppload profile against it (exact client-vs-server
+# metrics reconciliation; artifact lands in $(LOAD_JSON)), then run the
+# benchtrend regression gate over the committed BENCH_*/LOAD_* history.
+# Methodology: docs/BENCHMARKS.md.
+SPPLOAD_ADDR ?= 127.0.0.1:8187
+loadcheck:
+	$(GO) build -o /tmp/sppd ./cmd/sppd && $(GO) build -o /tmp/sppload ./cmd/sppload && $(GO) build -o /tmp/benchtrend ./cmd/benchtrend
+	/tmp/sppd -addr $(SPPLOAD_ADDR) -par 4 & pid=$$!; \
+	/tmp/sppload -addr http://$(SPPLOAD_ADDR) -wait 10s -o $(LOAD_JSON); st=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; exit $$st
+	/tmp/benchtrend
+	@echo "wrote $(LOAD_JSON)"
 
 cover:
 	$(GO) test -cover ./...

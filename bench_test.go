@@ -14,6 +14,7 @@ import (
 	"spp1000/internal/apps/pic"
 	"spp1000/internal/apps/ppm"
 	"spp1000/internal/experiments"
+	"spp1000/internal/load"
 	"spp1000/internal/microbench"
 	"spp1000/internal/parsim"
 	"spp1000/internal/sim"
@@ -253,4 +254,27 @@ func BenchmarkTab2PPM(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(r.Mflops, "sim-Mflops-8cpu")
+}
+
+// BenchmarkLoadMix measures the sppload op generator: the per-op cost
+// of the smooth-WRR class schedule plus the zipfian hot-key draw. The
+// generator sits on every load-test worker's critical path, so it must
+// stay allocation-free per op — allocs/op here is gated by benchtrend
+// like any other benchmark.
+func BenchmarkLoadMix(b *testing.B) {
+	gen, err := load.NewGenerator(load.DefaultMix(), 8, 1.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hot := 0
+	for i := 0; i < b.N; i++ {
+		if gen.Next().Class == load.OpHot {
+			hot++
+		}
+	}
+	if b.N >= 100 && (hot < b.N/4 || hot > b.N/2+1) {
+		b.Fatalf("hot fraction %d/%d drifted from the 40%% mix", hot, b.N)
+	}
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkFig4Message-8   \t  12\t  95104310 ns/op\t  1204 B/op\t  17 allocs/op\t  3.1 sim-us/global-RT")
@@ -15,6 +18,9 @@ func TestParseLine(t *testing.T) {
 	}
 	if b.Metrics["sim-us/global-RT"] != 3.1 {
 		t.Fatalf("custom metric: %+v", b.Metrics)
+	}
+	if b.Gomaxprocs != 8 {
+		t.Fatalf("gomaxprocs %d, want 8 from the -8 suffix", b.Gomaxprocs)
 	}
 }
 
@@ -38,6 +44,29 @@ func TestParseLineNoSuffix(t *testing.T) {
 	b, ok := parseLine("BenchmarkKernelEventThroughput 	158551778	         7.526 ns/op	       0 B/op	       0 allocs/op")
 	if !ok || b.Name != "KernelEventThroughput" || b.NsPerOp != 7.526 {
 		t.Fatalf("parsed %+v ok=%v", b, ok)
+	}
+	if b.Gomaxprocs != 0 {
+		t.Fatalf("gomaxprocs %d for a suffix-free line, want 0", b.Gomaxprocs)
+	}
+}
+
+// A v1 artifact (no schema_version, no provenance) must round-trip
+// through the v2 Output struct unchanged in meaning — benchtrend reads
+// both generations with this one type.
+func TestOutputReadsV1Artifacts(t *testing.T) {
+	v1 := `{"goos":"linux","goarch":"amd64","cpu":"Intel(R) Xeon(R)",
+	  "benchmarks":[{"name":"Fig6PIC","iterations":14,"ns_per_op":78e6,
+	    "allocs_per_op":120,"metrics":{"sim-Mflops-16cpu":55.4}}]}`
+	var out Output
+	if err := json.Unmarshal([]byte(v1), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != 0 || out.GitCommit != "" {
+		t.Fatalf("v1 artifact grew provenance from nowhere: %+v", out)
+	}
+	if len(out.Benchmarks) != 1 || out.Benchmarks[0].NsPerOp != 78e6 ||
+		*out.Benchmarks[0].AllocsPerOp != 120 {
+		t.Fatalf("v1 benchmarks misread: %+v", out.Benchmarks)
 	}
 }
 

@@ -1,0 +1,127 @@
+// Command benchtrend is the performance-regression gate: it ingests
+// the repository's whole committed BENCH_*.json and LOAD_*.json
+// history and exits nonzero on regressions that survive host-noise
+// normalization. The classification rules — sim-metric exact equality,
+// tight allocs/op bands, suite-median-normalized wall-time ratios
+// gated only when the suite itself was stable, per-benchmark noise
+// bands widened by demonstrated variance — are documented with worked
+// examples in docs/BENCHMARKS.md. `make loadcheck` runs it in CI.
+//
+// Usage:
+//
+//	benchtrend            # analyze ./BENCH_*.json + ./LOAD_*.json
+//	benchtrend -dir path  # analyze another artifact directory
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"spp1000/internal/load"
+)
+
+// benchmark and benchDoc mirror cmd/benchjson's artifact schema (v1
+// and v2 — the provenance fields added in v2 simply read as zero from
+// v1 files). The two commands cannot share the type: both are package
+// main.
+type benchmark struct {
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// benchDoc is the artifact envelope; only the fields the gate reads.
+type benchDoc struct {
+	SchemaVersion int         `json:"schema_version"`
+	GitCommit     string      `json:"git_commit"`
+	CPU           string      `json:"cpu"`
+	Benchmarks    []benchmark `json:"benchmarks"`
+}
+
+var artifactRe = regexp.MustCompile(`^(BENCH|LOAD)_(\d+)\.json$`)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json / LOAD_*.json history")
+	band := flag.Float64("band", 0, "override the default noise band factor (0 keeps the calibrated default)")
+	quiet := flag.Bool("q", false, "print failures only")
+	flag.Parse()
+
+	cfg := defaultTrendConfig()
+	if *band > 0 {
+		cfg.Band = *band
+	}
+
+	benches, loads, err := discover(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches)+len(loads) == 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: no BENCH_*.json or LOAD_*.json under %s\n", *dir)
+		os.Exit(1)
+	}
+
+	findings := analyze(benches, loads, cfg)
+	failed := 0
+	for _, f := range findings {
+		if f.Level == "fail" {
+			failed++
+		}
+		if f.Level == "fail" || !*quiet {
+			fmt.Println(f)
+		}
+	}
+	fmt.Printf("benchtrend: %d bench artifacts, %d load artifacts, %d findings, %d failures\n",
+		len(benches), len(loads), len(findings), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// discover loads every artifact in dir, sorted ascending by its PR
+// number suffix.
+func discover(dir string) ([]benchPoint, []loadPoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var benches []benchPoint
+	var loads []loadPoint
+	for _, e := range entries {
+		m := artifactRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[2])
+		label := m[1] + "_" + m[2]
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		switch m[1] {
+		case "BENCH":
+			var doc benchDoc
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			benches = append(benches, benchPoint{Label: label, N: n, Doc: doc})
+		case "LOAD":
+			var doc load.Result
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			loads = append(loads, loadPoint{Label: label, N: n, Doc: doc})
+		}
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].N < benches[j].N })
+	sort.Slice(loads, func(i, j int) bool { return loads[i].N < loads[j].N })
+	return benches, loads, nil
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spp1000/internal/load"
+)
+
+// trendConfig tunes the gate. The defaults are calibrated against the
+// repo's own committed history (see docs/BENCHMARKS.md): loose enough
+// that every real BENCH_1→3→4→6 transition passes, tight enough that a
+// 3x single-benchmark regression on a stable suite fails.
+type trendConfig struct {
+	// Band is the default allowed factor on suite-normalized ns/op (and
+	// rate-cost) ratios.
+	Band float64
+	// StabilityLogTol bounds |ln(suite median ratio)| for a pair to
+	// count as same-host-condition; beyond it the whole suite shifted
+	// (CPU frequency scaling, co-tenancy) and per-benchmark swings are
+	// classified host-noise rather than regressions.
+	StabilityLogTol float64
+	// AllocBandFrac and AllocSlack bound allocs/op growth:
+	// new <= old*(1+frac) + slack. Allocation counts are deterministic
+	// per build, so the band is tight; the absolute slack keeps tiny
+	// benchmarks (3 -> 4 allocs) out of the noise.
+	AllocBandFrac float64
+	AllocSlack    float64
+	// VarWidenK widens a benchmark's band to exp(K * stddev) of its
+	// historical normalized log-ratios once >= MinHistory same-host
+	// pairs exist — benchmarks that have proven noisy earn more room.
+	VarWidenK  float64
+	MinHistory int
+	// SimTol is the relative tolerance on sim-* metric equality. Sim
+	// metrics are pure functions of the simulated machine, byte-stable
+	// across hosts; any drift is a semantic change, never noise.
+	SimTol float64
+}
+
+func defaultTrendConfig() trendConfig {
+	return trendConfig{
+		Band:            1.25,
+		StabilityLogTol: 0.05,
+		AllocBandFrac:   0.05,
+		AllocSlack:      8,
+		VarWidenK:       2.0,
+		MinHistory:      2,
+		SimTol:          1e-9,
+	}
+}
+
+// finding is one classified observation. Level "fail" findings make
+// benchtrend exit nonzero; "note" findings are informational.
+type finding struct {
+	Level  string // "fail" or "note"
+	Where  string // "BENCH_3→BENCH_4", "LOAD_8", ...
+	Bench  string // benchmark or metric the finding is about ("" = suite)
+	Kind   string // sim-change, allocs-regression, ns-regression, rate-regression, host-shift, incomparable-host, load-invariant, saturation-trend
+	Detail string
+}
+
+func (f finding) String() string {
+	b := f.Bench
+	if b != "" {
+		b = " " + b
+	}
+	return fmt.Sprintf("%-4s %s%s [%s]: %s", f.Level, f.Where, b, f.Kind, f.Detail)
+}
+
+// benchPoint is one artifact in the BENCH_n.json sequence.
+type benchPoint struct {
+	Label string // "BENCH_4"
+	N     int
+	Doc   benchDoc
+}
+
+// loadPoint is one LOAD_n.json artifact.
+type loadPoint struct {
+	Label string
+	N     int
+	Doc   load.Result
+}
+
+// analyze runs the whole gate over the artifact history (both slices
+// already sorted ascending by N) and returns the findings.
+func analyze(benches []benchPoint, loads []loadPoint, cfg trendConfig) []finding {
+	var out []finding
+	history := map[string][]float64{} // bench key -> normalized log-ratios from stable same-host pairs
+	for i := 1; i < len(benches); i++ {
+		out = append(out, analyzePair(benches[i-1], benches[i], cfg, history)...)
+	}
+	for _, lp := range loads {
+		out = append(out, analyzeLoad(lp)...)
+	}
+	if len(loads) >= 2 {
+		first, last := loads[0], loads[len(loads)-1]
+		out = append(out, finding{
+			Level: "note", Where: first.Label + "→" + last.Label, Kind: "saturation-trend",
+			Detail: fmt.Sprintf("saturation throughput %.1f → %.1f ops/sec (reported, not gated: wall-clock throughput is host-bound)",
+				first.Doc.SaturationOpsPerSec, last.Doc.SaturationOpsPerSec),
+		})
+	}
+	return out
+}
+
+// analyzePair classifies one consecutive BENCH transition.
+func analyzePair(prev, cur benchPoint, cfg trendConfig, history map[string][]float64) []finding {
+	var out []finding
+	pair := prev.Label + "→" + cur.Label
+	prevBy := byKey(prev.Doc.Benchmarks)
+
+	// Sim-metric equality and the allocs/op band hold regardless of
+	// host: both are deterministic properties of the build, not timings.
+	type nsRatio struct {
+		key   string
+		ratio float64
+	}
+	var nsRatios, costRatios []nsRatio
+	for _, b := range cur.Doc.Benchmarks {
+		p, ok := prevBy[key(b)]
+		if !ok {
+			continue
+		}
+		for name, v := range b.Metrics {
+			if len(name) < 4 || name[:4] != "sim-" {
+				continue
+			}
+			pv, ok := p.Metrics[name]
+			if !ok {
+				continue
+			}
+			if math.Abs(v-pv) > cfg.SimTol*math.Max(1, math.Abs(pv)) {
+				out = append(out, finding{
+					Level: "fail", Where: pair, Bench: key(b), Kind: "sim-change",
+					Detail: fmt.Sprintf("%s %g → %g: sim metrics are host-invariant, this is a semantic change", name, pv, v),
+				})
+			}
+		}
+		if b.AllocsPerOp != nil && p.AllocsPerOp != nil {
+			limit := *p.AllocsPerOp*(1+cfg.AllocBandFrac) + cfg.AllocSlack
+			if *b.AllocsPerOp > limit {
+				out = append(out, finding{
+					Level: "fail", Where: pair, Bench: key(b), Kind: "allocs-regression",
+					Detail: fmt.Sprintf("allocs/op %g → %g exceeds band %.1f", *p.AllocsPerOp, *b.AllocsPerOp, limit),
+				})
+			}
+		}
+		if p.NsPerOp > 0 && b.NsPerOp > 0 {
+			nsRatios = append(nsRatios, nsRatio{key(b), b.NsPerOp / p.NsPerOp})
+		}
+		if pv, cv := p.Metrics["events/sec-per-core"], b.Metrics["events/sec-per-core"]; pv > 0 && cv > 0 {
+			costRatios = append(costRatios, nsRatio{key(b), pv / cv}) // cost ratio: >1 means fewer events/sec now
+		}
+	}
+
+	if prev.Doc.CPU != cur.Doc.CPU {
+		out = append(out, finding{
+			Level: "note", Where: pair, Kind: "incomparable-host",
+			Detail: fmt.Sprintf("cpu %q → %q: wall-time comparisons skipped (sim metrics and allocs/op still gated)", prev.Doc.CPU, cur.Doc.CPU),
+		})
+		return out
+	}
+
+	for _, fam := range []struct {
+		kind   string
+		unit   string
+		ratios []nsRatio
+	}{
+		{"ns-regression", "ns/op", nsRatios},
+		{"rate-regression", "events/sec-per-core cost", costRatios},
+	} {
+		if len(fam.ratios) == 0 {
+			continue
+		}
+		vals := make([]float64, len(fam.ratios))
+		for i, r := range fam.ratios {
+			vals[i] = r.ratio
+		}
+		med := median(vals)
+		if med <= 0 {
+			continue
+		}
+		if math.Abs(math.Log(med)) > cfg.StabilityLogTol {
+			// The whole suite moved together: host conditions changed
+			// between runs, so no per-benchmark deviation is attributable
+			// to code. Report the spread but fail nothing.
+			worst := fam.ratios[0]
+			for _, r := range fam.ratios {
+				if math.Abs(math.Log(r.ratio/med)) > math.Abs(math.Log(worst.ratio/med)) {
+					worst = r
+				}
+			}
+			out = append(out, finding{
+				Level: "note", Where: pair, Kind: "host-shift",
+				Detail: fmt.Sprintf("suite median %s ratio %.3f exceeds stability tolerance — classifying all %d swings as host noise (largest: %s, normalized ×%.2f)",
+					fam.unit, med, len(fam.ratios), worst.key, worst.ratio/med),
+			})
+			continue
+		}
+		for _, r := range fam.ratios {
+			norm := r.ratio / med
+			band := bandFor(cfg, history[fam.kind+"|"+r.key])
+			if norm > band {
+				out = append(out, finding{
+					Level: "fail", Where: pair, Bench: r.key, Kind: fam.kind,
+					Detail: fmt.Sprintf("%s ratio ×%.2f (suite-normalized ×%.2f) exceeds noise band ×%.2f on a stable suite (median %.3f)",
+						fam.unit, r.ratio, norm, band, med),
+				})
+			}
+			history[fam.kind+"|"+r.key] = append(history[fam.kind+"|"+r.key], math.Log(norm))
+		}
+	}
+	return out
+}
+
+// bandFor is the per-benchmark noise band: the default, widened by the
+// benchmark's own demonstrated variance once enough stable same-host
+// history exists.
+func bandFor(cfg trendConfig, logNorms []float64) float64 {
+	if len(logNorms) < cfg.MinHistory {
+		return cfg.Band
+	}
+	mean := 0.0
+	for _, v := range logNorms {
+		mean += v
+	}
+	mean /= float64(len(logNorms))
+	ss := 0.0
+	for _, v := range logNorms {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(logNorms)-1))
+	return math.Max(cfg.Band, math.Exp(cfg.VarWidenK*sd))
+}
+
+// analyzeLoad gates one LOAD artifact on its internal invariants: the
+// reconciliation must have balanced and nothing unexpected may have
+// been observed. Throughput is never gated — it is reported by the
+// saturation-trend note.
+func analyzeLoad(lp loadPoint) []finding {
+	var out []finding
+	if !lp.Doc.Reconcile.OK {
+		out = append(out, finding{
+			Level: "fail", Where: lp.Label, Kind: "load-invariant",
+			Detail: "reconciliation failed: client tallies did not equal the server's books",
+		})
+	}
+	if lp.Doc.Tally.Unexpected != 0 {
+		out = append(out, finding{
+			Level: "fail", Where: lp.Label, Kind: "load-invariant",
+			Detail: fmt.Sprintf("%d unexpected client-side observations", lp.Doc.Tally.Unexpected),
+		})
+	}
+	return out
+}
+
+// byKey indexes benchmarks by package+name.
+func byKey(bs []benchmark) map[string]benchmark {
+	m := make(map[string]benchmark, len(bs))
+	for _, b := range bs {
+		m[key(b)] = b
+	}
+	return m
+}
+
+func key(b benchmark) string {
+	if b.Package == "" {
+		return b.Name
+	}
+	return b.Package + "." + b.Name
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

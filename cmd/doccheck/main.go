@@ -38,11 +38,23 @@ var defaultPackages = []string{
 	"internal/faultinject",
 	"internal/parsim",
 	"internal/gateway",
+	"internal/load",
+}
+
+// requiredDocs maps packages to the narrative docs file that must
+// exist and mention them by import path — so the methodology docs
+// cannot silently rot away from the code they describe. Checked only
+// in the no-argument (full-gate) mode.
+var requiredDocs = map[string]string{
+	"internal/load":    "docs/BENCHMARKS.md",
+	"internal/gateway": "docs/SERVICE.md",
+	"internal/lint":    "docs/LINT.md",
 }
 
 func main() {
 	dirs := os.Args[1:]
-	if len(dirs) == 0 {
+	fullGate := len(dirs) == 0
+	if fullGate {
 		dirs = defaultPackages
 	}
 	var missing []string
@@ -54,6 +66,9 @@ func main() {
 		}
 		missing = append(missing, m...)
 	}
+	if fullGate {
+		missing = append(missing, checkDocs()...)
+	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		for _, m := range missing {
@@ -62,6 +77,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbol(s) missing doc comments\n", len(missing))
 		os.Exit(1)
 	}
+}
+
+// checkDocs verifies every requiredDocs entry: the docs file exists
+// and names the package it is on the hook for.
+func checkDocs() []string {
+	var missing []string
+	for pkg, doc := range requiredDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			missing = append(missing, fmt.Sprintf("%s: required by %s but unreadable: %v", doc, pkg, err))
+			continue
+		}
+		if !strings.Contains(string(data), pkg) {
+			missing = append(missing, fmt.Sprintf("%s: must mention %s (it documents that package)", doc, pkg))
+		}
+	}
+	return missing
 }
 
 // checkDir parses every non-test Go file of one package directory and

@@ -1,0 +1,205 @@
+// Command sppload drives a live sppd daemon (or sppgw gateway) with a
+// closed-loop workload mix — hot-key zipfian resubmits, cold sweep
+// submissions, cancels, deadline-doomed jobs, malformed requests — and
+// writes the run's report as a LOAD_n.json artifact: per-class latency
+// percentiles, a concurrency-ladder speedup/efficiency table,
+// saturation throughput, and the exact reconciliation of the client's
+// tallies against the daemon's own /metrics deltas. A run whose books
+// do not balance exits nonzero; `make loadcheck` runs the bounded CI
+// profile. See docs/BENCHMARKS.md for the methodology and the artifact
+// schema.
+//
+// Usage:
+//
+//	sppload -addr http://127.0.0.1:8177 -o LOAD_8.json
+//	sppload -mix hot=80,cold=20 -ladder 1,2,4,8 -ops 400 -workers 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"spp1000/internal/experiments"
+	"spp1000/internal/load"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8177", "base URL of the sppd daemon or sppgw gateway under load")
+		out       = flag.String("o", "", "path for the LOAD_n.json artifact (default stdout)")
+		mixStr    = flag.String("mix", "hot=40,cold=30,cancel=10,timeout=10,malformed=10", "workload mix weights")
+		ladder    = flag.String("ladder", "1,2,4", "comma-separated worker counts for the concurrency-ladder rungs")
+		ladderOps = flag.Int("ladder-ops", 40, "operations per ladder rung")
+		workers   = flag.Int("workers", 8, "worker count of the main stage")
+		ops       = flag.Int("ops", 120, "operations in the main stage")
+		hotKeys   = flag.Int("hot-keys", 8, "size of the hot spec set")
+		zipf      = flag.Float64("zipf", 1.1, "zipf exponent of the hot-key popularity skew (0 = uniform)")
+		seed      = flag.Uint64("seed", 1, "generator seed; equal seeds replay identical op sequences")
+		exp       = flag.String("exp", "tab1", "experiment id the generated jobs run (quick scale)")
+		wait      = flag.Duration("wait", 0, "wait up to this long for the daemon's /healthz before starting")
+		quiet     = flag.Bool("q", false, "suppress the progress and summary lines on stderr")
+	)
+	flag.Parse()
+
+	mix, err := load.ParseMix(*mixStr)
+	if err != nil {
+		fatal(err)
+	}
+	stages, err := parseLadder(*ladder, *ladderOps)
+	if err != nil {
+		fatal(err)
+	}
+	stages = append(stages, load.Stage{Workers: *workers, Ops: *ops})
+	if _, err := experiments.ResolveNames(*exp); err != nil {
+		fatal(fmt.Errorf("-exp %s: %w", *exp, err))
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sppload: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *wait > 0 {
+		if err := load.WaitHealthy(nil, *addr, int(*wait/(50*time.Millisecond))+1, 50*time.Millisecond, nil); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := load.Run(load.Config{
+		BaseURL: *addr,
+		Mix:     mix,
+		Stages:  stages,
+		HotKeys: *hotKeys,
+		ZipfS:   *zipf,
+		Seed:    *seed,
+		Body:    bodyFunc(*exp),
+		Logf:    logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res.Provenance = &load.Provenance{
+		GitCommit:    headCommit(),
+		RunTimestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		summarize(res)
+	}
+	if !res.Reconcile.OK {
+		fmt.Fprintf(os.Stderr, "sppload: RECONCILE FAILED — client tallies do not equal server books:\n%s", res.Reconcile.Failures())
+		os.Exit(1)
+	}
+	logf("reconcile OK: every client tally equals the server's books exactly")
+}
+
+// bodyFunc renders generated ops into submit bodies: quick-scale specs
+// of one experiment, content-addressed apart by a class-namespaced
+// seed, with the impossible 1ns execution deadline on timeout-class
+// jobs. This is the one place sppload speaks the experiment
+// vocabulary — internal/load never does.
+func bodyFunc(exp string) func(load.Op) []byte {
+	return func(op load.Op) []byte {
+		opts := experiments.Quick()
+		opts.Seed = seedFor(op)
+		req := map[string]any{
+			"experiments": []string{exp},
+			"options":     opts,
+		}
+		if op.Class == load.OpTimeout {
+			req["timeout"] = "1ns"
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			panic(err) // a map of marshalable values cannot fail
+		}
+		return b
+	}
+}
+
+// seedFor namespaces the content-addressing seed per class: hot keys
+// share a small stable set (so resubmits coalesce) while cold, cancel,
+// and timeout jobs each get addresses no other class can collide with.
+func seedFor(op load.Op) uint64 {
+	switch op.Class {
+	case load.OpHot:
+		return 1 + uint64(op.Key)
+	case load.OpCold:
+		return 1_000_000 + uint64(op.Key)
+	case load.OpCancel:
+		return 2_000_000 + uint64(op.Key)
+	case load.OpTimeout:
+		return 3_000_000 + uint64(op.Key)
+	}
+	return 0
+}
+
+// parseLadder turns "1,2,4" into ladder rungs of opsEach operations.
+func parseLadder(s string, opsEach int) ([]load.Stage, error) {
+	var stages []load.Stage
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-ladder: %q is not a positive worker count", part)
+		}
+		stages = append(stages, load.Stage{Workers: w, Ops: opsEach})
+	}
+	return stages, nil
+}
+
+// summarize prints the human-readable run digest on stderr.
+func summarize(res *load.Result) {
+	fmt.Fprintf(os.Stderr, "\nsppload: %s (metrics %s*)\n", res.Target, res.Prefix)
+	fmt.Fprintf(os.Stderr, "  %-8s %6s %10s %10s %8s %10s\n", "stage", "ops", "wall(s)", "ops/sec", "speedup", "efficiency")
+	for _, st := range res.Stages {
+		fmt.Fprintf(os.Stderr, "  %-8s %6d %10.3f %10.1f %8.2f %10.2f\n",
+			fmt.Sprintf("w=%d", st.Workers), st.Ops, st.WallSeconds, st.OpsPerSec, st.Speedup, st.Efficiency)
+	}
+	fmt.Fprintf(os.Stderr, "  saturation: %.1f ops/sec\n\n", res.SaturationOpsPerSec)
+	fmt.Fprintf(os.Stderr, "  %-10s %6s %9s %9s %9s %9s %9s\n", "class", "ops", "p50(ms)", "p90(ms)", "p99(ms)", "p999(ms)", "max(ms)")
+	for _, cs := range res.Classes {
+		fmt.Fprintf(os.Stderr, "  %-10s %6d %9.3f %9.3f %9.3f %9.3f %9.3f  %v\n",
+			cs.Class, cs.Ops, cs.P50MS, cs.P90MS, cs.P99MS, cs.P999MS, cs.MaxMS, cs.Outcomes)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// headCommit resolves HEAD for the provenance stamp, best-effort.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sppload: %v\n", err)
+	os.Exit(1)
+}

@@ -15,7 +15,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,6 +22,7 @@ import (
 	"time"
 
 	"spp1000/internal/experiments"
+	"spp1000/internal/load"
 	"spp1000/internal/service"
 )
 
@@ -206,24 +206,13 @@ func gwResult(t *testing.T, baseURL, id string) (string, *http.Response) {
 }
 
 // gwMetrics scrapes and parses a /metrics endpoint into name → value,
-// keeping full metric names (sppgw_… and sppgw_backend_… intact).
+// keeping full metric names (sppgw_… and sppgw_backend_… intact) via
+// the load harness's shared parser.
 func gwMetrics(t *testing.T, baseURL string) map[string]float64 {
 	t.Helper()
-	resp, err := http.Get(baseURL + "/metrics")
+	m, err := load.Scrape(nil, baseURL, "")
 	if err != nil {
 		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	m := make(map[string]float64)
-	for _, line := range strings.Split(string(data), "\n") {
-		name, val, ok := strings.Cut(line, " ")
-		if !ok {
-			continue
-		}
-		if f, err := strconv.ParseFloat(val, 64); err == nil {
-			m[name] = f
-		}
 	}
 	return m
 }

@@ -95,6 +95,7 @@ var HostPackages = []string{
 	"internal/store",
 	"internal/faultinject",
 	"internal/gateway",
+	"internal/load",
 	"internal/lint",
 }
 
@@ -107,6 +108,35 @@ var SimIndependentPackages = []string{
 	"internal/store",
 	"internal/faultinject",
 	"internal/gateway",
+	"internal/load",
+}
+
+// SimPureLeaves lists sim-core-classified packages that are pure
+// computational leaves — deterministic functions of their arguments,
+// importing nothing from the module — which sim-independent packages
+// may import without breaking the one-directional ban. Today that is
+// only internal/rng: the load harness reuses the simulator's
+// deterministic generator for replayable workloads, which is safe
+// precisely because rng has no edges back into the kernel. The deps
+// analyzer enforces the purity claim itself (a leaf growing a module
+// import is reported at the leaf).
+var SimPureLeaves = []string{
+	"internal/rng",
+}
+
+// SimPureLeaf reports whether the full import path is one of the
+// SimPureLeaves (or in their subtrees).
+func SimPureLeaf(pkgPath string) bool {
+	rel, ok := strings.CutPrefix(pkgPath, ModulePath+"/")
+	if !ok {
+		return false
+	}
+	for _, p := range SimPureLeaves {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // SimIndependent reports whether the full import path is one of the

@@ -1,6 +1,9 @@
 package lint
 
-import "strconv"
+import (
+	"strconv"
+	"strings"
+)
 
 // Deps enforces the sim-independence of the durable infrastructure
 // packages listed in SimIndependentPackages: they must not import any
@@ -15,13 +18,35 @@ import "strconv"
 // submit body into a key — is injected by cmd/sppgw precisely so this
 // ban can hold. The ban is one-directional and structural, so it is
 // checked at the import graph, not at call sites.
+//
+// Two refinements keep the ban sound as it grew to internal/load:
+// the SimPureLeaves (internal/rng) are exempt from the ban — they are
+// deterministic computational leaves the load harness may reuse for
+// replayable workloads — and the analyzer enforces that claimed purity
+// on the leaves themselves: a SimPureLeaf package importing anything
+// from the module stops being a leaf, and the report lands at the
+// offending import.
 var Deps = &Analyzer{
 	Name: "deps",
-	Doc:  "forbid sim-core imports in sim-independent infrastructure packages (internal/store, internal/faultinject, internal/gateway)",
+	Doc:  "forbid sim-core imports in sim-independent infrastructure packages (internal/store, internal/faultinject, internal/gateway, internal/load), and keep the sim-pure leaves import-free",
 	Run:  runDeps,
 }
 
 func runDeps(pass *Pass) error {
+	if SimPureLeaf(pass.Pkg.PkgPath) {
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == ModulePath || strings.HasPrefix(path, ModulePath+"/") {
+					pass.Reportf(imp.Pos(), "module import %s in sim-pure leaf package: the leaf exemption that lets sim-independent packages import this one is only sound while it imports nothing from the module", path)
+				}
+			}
+		}
+		return nil
+	}
 	if !SimIndependent(pass.Pkg.PkgPath) {
 		return nil
 	}
@@ -31,7 +56,7 @@ func runDeps(pass *Pass) error {
 			if err != nil {
 				continue
 			}
-			if Classify(path) == ClassSimCore {
+			if Classify(path) == ClassSimCore && !SimPureLeaf(path) {
 				pass.Reportf(imp.Pos(), "sim-core import %s in sim-independent package: store and fault-injection infrastructure must not depend on the simulation kernel", path)
 			}
 		}

@@ -33,7 +33,23 @@ func TestCtxFlow(t *testing.T) {
 }
 
 func TestDeps(t *testing.T) {
-	linttest.Run(t, fixmod, []string{"./internal/store"}, lint.Deps)
+	linttest.Run(t, fixmod,
+		[]string{"./internal/store", "./internal/load", "./internal/rng"},
+		lint.Deps)
+}
+
+func TestSimPureLeaf(t *testing.T) {
+	for path, want := range map[string]bool{
+		"spp1000/internal/rng":     true,
+		"spp1000/internal/rng/sub": true,
+		"spp1000/internal/sim":     false,
+		"spp1000/internal/load":    false,
+		"rng":                      false,
+	} {
+		if got := lint.SimPureLeaf(path); got != want {
+			t.Errorf("SimPureLeaf(%q) = %v, want %v", path, got, want)
+		}
+	}
 }
 
 func TestClassify(t *testing.T) {
@@ -50,6 +66,7 @@ func TestClassify(t *testing.T) {
 		{"spp1000/internal/resultcache", lint.ClassHost},
 		{"spp1000/internal/store", lint.ClassHost},
 		{"spp1000/internal/faultinject", lint.ClassHost},
+		{"spp1000/internal/load", lint.ClassHost},
 		{"spp1000/cmd/sppbench", lint.ClassExempt},
 		{"spp1000/examples/quickstart", lint.ClassExempt},
 		{"fmt", lint.ClassExempt},

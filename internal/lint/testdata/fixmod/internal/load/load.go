@@ -1,0 +1,12 @@
+// Package load is a simlint fixture: a sim-independent package whose
+// import of the sim-pure rng leaf is legal while a kernel import is
+// not.
+package load
+
+import (
+	"spp1000/internal/rng" // sim-pure leaf: legal
+	"spp1000/internal/sim" // want `sim-core import spp1000/internal/sim in sim-independent package`
+)
+
+// Gen uses both imports.
+func Gen(c sim.Cycles) int { return rng.Next(nil) + int(c) }

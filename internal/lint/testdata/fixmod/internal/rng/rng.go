@@ -1,0 +1,8 @@
+// Package rng is a simlint fixture: a sim-pure leaf that illegally
+// grows an import from the module, voiding its purity exemption.
+package rng
+
+import "spp1000/internal/runner" // want `module import spp1000/internal/runner in sim-pure leaf package`
+
+// Next uses the illegal import.
+func Next(m map[int]int) int { return runner.Fan(m) }

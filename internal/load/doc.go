@@ -1,0 +1,18 @@
+// Package load is the closed-loop load harness for the
+// simulation-as-a-service daemons: it replays a deterministic,
+// configurable workload mix (hot-key zipfian resubmits, cold sweeps,
+// cancels, deadline-doomed jobs, malformed requests) against a live
+// sppd or sppgw over plain HTTP, measures per-class latency
+// percentiles and a concurrency-ladder throughput curve, and — the
+// part that makes a run a verdict rather than a vibe — scrapes the
+// daemon's own /metrics before and after to reconcile the client's
+// tallies against the server's books exactly (see Reconcile).
+//
+// The package is host-class and sim-independent: it knows the job
+// API's wire contract and the metric names, but not the experiment
+// vocabulary (submit bodies are injected via Config.Body) and nothing
+// of the simulator. Its only in-module dependency is internal/rng, the
+// pure deterministic generator leaf, so identical seeds replay
+// identical op sequences. cmd/sppload is the CLI; docs/BENCHMARKS.md
+// is the methodology.
+package load

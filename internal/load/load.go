@@ -1,0 +1,515 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run. The harness knows the daemon's
+// job API and metric books but is deliberately ignorant of the
+// experiment vocabulary: callers inject Body to turn generated ops
+// into submit payloads (cmd/sppload builds them from the quick preset;
+// tests build them for a stub runner).
+type Config struct {
+	// BaseURL is the target daemon, e.g. "http://127.0.0.1:8177" — a
+	// standalone sppd or a sppgw gateway.
+	BaseURL string
+	// Prefix is the metric namespace to reconcile against (SppdPrefix
+	// or GatewayPrefix). Empty auto-detects via DetectPrefix.
+	Prefix string
+	// Client is the HTTP client; nil uses a dedicated client with
+	// generous connection reuse.
+	Client *http.Client
+
+	// Mix weights the operation classes; zero value means DefaultMix.
+	Mix Mix
+	// Stages is the concurrency ladder: each stage runs Ops operations
+	// of the shared generated sequence at Workers closed-loop workers.
+	// Nil means DefaultStages. Start the ladder at Workers=1 to anchor
+	// the speedup/efficiency columns.
+	Stages []Stage
+	// HotKeys sizes the hot spec set (default 8).
+	HotKeys int
+	// ZipfS is the hot-key popularity skew exponent (default 1.1).
+	ZipfS float64
+	// Seed pins the generator's deterministic op sequence (default 1).
+	Seed uint64
+
+	// Body renders a generated op into a POST /v1/jobs payload.
+	// Required. The contract: every (Class, Key) pair must map to its
+	// own content address — distinct across classes too, so a cancel
+	// never lands on a cold job — with equal pairs mapping to equal
+	// bodies (hot resubmits must coalesce); OpTimeout bodies must carry
+	// an execution timeout too short to ever beat (for example "1ns"),
+	// so those jobs deterministically reach the "timeout" status.
+	// OpMalformed is never passed to Body: the harness owns its garbage.
+	Body func(op Op) []byte
+
+	// PollInterval is the status-poll spacing for closed-loop waits
+	// (default 2ms — local daemons answer in microseconds).
+	PollInterval time.Duration
+	// PollBudget bounds how many polls a single job may take before the
+	// run declares it stuck (default 15000 — 30s at the default
+	// interval).
+	PollBudget int
+
+	// Now and Sleep are the harness's only clock access, injected so
+	// tests can fake time and so the host-class determinism lint has a
+	// single audited default.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+
+	// Logf, when set, receives progress lines (stage boundaries, the
+	// final sweep). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Stage is one rung of the concurrency ladder: Ops operations executed
+// by Workers closed-loop workers (each worker submits its next op only
+// after its previous op completed).
+type Stage struct {
+	Workers int `json:"workers"`
+	Ops     int `json:"ops"`
+}
+
+// DefaultStages is the bounded CI ladder: single-worker anchor, two
+// doubling rungs for the speedup curve, then a wider main stage that
+// the saturation-throughput figure comes from.
+func DefaultStages() []Stage {
+	return []Stage{{1, 40}, {2, 40}, {4, 40}, {8, 120}}
+}
+
+func (c *Config) normalize() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("load: Config.BaseURL is required")
+	}
+	if c.Body == nil {
+		return fmt.Errorf("load: Config.Body is required (the harness is vocabulary-free)")
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = DefaultMix()
+	}
+	if c.Stages == nil {
+		c.Stages = DefaultStages()
+	}
+	for i, st := range c.Stages {
+		if st.Workers < 1 || st.Ops < 1 {
+			return fmt.Errorf("load: stage %d needs Workers >= 1 and Ops >= 1 (got %+v)", i, st)
+		}
+	}
+	if c.HotKeys == 0 {
+		c.HotKeys = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.PollBudget <= 0 {
+		c.PollBudget = 15000
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	if c.Now == nil {
+		c.Now = time.Now //simlint:allow determinism load is a host-side harness measuring real wall latency; tests inject a fake clock
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep //simlint:allow determinism poll pacing against a live daemon; tests inject a no-op
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Run executes the configured load profile against the live daemon:
+// scrape the books, drive every ladder stage, poll all touched jobs to
+// rest, scrape again, and reconcile. The returned Result carries the
+// full report; Run itself returns an error only for harness-level
+// failures (unreachable daemon, bad config) — a failed reconciliation
+// is reported in Result.Reconcile, not as an error, so callers decide
+// how loudly to fail.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Prefix == "" {
+		p, err := DetectPrefix(cfg.Client, cfg.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("load: probing %s: %w", cfg.BaseURL, err)
+		}
+		cfg.Prefix = p
+	}
+	before, err := Scrape(cfg.Client, cfg.BaseURL, cfg.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("load: pre-run scrape: %w", err)
+	}
+
+	gen, err := NewGenerator(cfg.Mix, cfg.HotKeys, cfg.ZipfS, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg, jobs: map[string]string{}}
+	res := &Result{
+		Target: cfg.BaseURL, Prefix: cfg.Prefix,
+		Mix: cfg.Mix, HotKeys: cfg.HotKeys, ZipfS: cfg.ZipfS, Seed: cfg.Seed,
+	}
+	for _, st := range cfg.Stages {
+		ops := make([]Op, st.Ops)
+		for i := range ops {
+			ops[i] = gen.Next()
+		}
+		cfg.Logf("stage: %d workers x %d ops", st.Workers, st.Ops)
+		res.Stages = append(res.Stages, r.runStage(st, ops))
+	}
+	finishStages(res.Stages)
+	for _, st := range res.Stages {
+		if st.OpsPerSec > res.SaturationOpsPerSec {
+			res.SaturationOpsPerSec = st.OpsPerSec
+		}
+	}
+
+	cfg.Logf("final sweep: polling %d distinct jobs to rest", len(r.jobs))
+	r.sweep()
+	r.countStatuses()
+
+	after, err := Scrape(cfg.Client, cfg.BaseURL, cfg.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("load: post-run scrape: %w", err)
+	}
+	res.Classes = r.classStats()
+	res.Tally = r.tally
+	res.Reconcile = Reconcile(r.tally, after.Delta(before), after)
+	res.ServerDelta = integralDelta(after.Delta(before))
+	return res, nil
+}
+
+// runner is the mutable state of one Run: the client tally, the
+// distinct-job status map, and the latency samples, all mutex-guarded
+// because stage workers write them concurrently.
+type runner struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tally   Tally
+	jobs    map[string]string // job key -> last observed status
+	samples [numClasses][]float64
+	counts  [numClasses]map[string]int // class -> outcome label -> n
+}
+
+// runStage drives one ladder rung: Workers goroutines pull from the
+// stage's op list, each completing its op fully before taking the next
+// (closed loop). Returns the stage's wall-clock throughput figures.
+func (r *runner) runStage(st Stage, ops []Op) StageResult {
+	ch := make(chan Op)
+	var wg sync.WaitGroup
+	start := r.cfg.Now()
+	for w := 0; w < st.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range ch {
+				r.do(op)
+			}
+		}()
+	}
+	for _, op := range ops {
+		ch <- op
+	}
+	close(ch)
+	wg.Wait()
+	wall := r.cfg.Now().Sub(start).Seconds()
+	sr := StageResult{Workers: st.Workers, Ops: len(ops), WallSeconds: wall}
+	if wall > 0 {
+		sr.OpsPerSec = float64(len(ops)) / wall
+	}
+	return sr
+}
+
+// do executes one op end to end and records its latency and outcome.
+func (r *runner) do(op Op) {
+	start := r.cfg.Now()
+	outcome := r.execute(op)
+	latMS := r.cfg.Now().Sub(start).Seconds() * 1e3
+	r.mu.Lock()
+	r.samples[op.Class] = append(r.samples[op.Class], latMS)
+	if r.counts[op.Class] == nil {
+		r.counts[op.Class] = map[string]int{}
+	}
+	r.counts[op.Class][outcome]++
+	r.mu.Unlock()
+}
+
+// execute performs the class-specific protocol and returns an outcome
+// label for the breakdown table ("200", "202", "400", "503",
+// "canceled", "timeout", "done", "unexpected", ...).
+func (r *runner) execute(op Op) string {
+	switch op.Class {
+	case OpMalformed:
+		code, _, err := r.post(malformedBody(op.Seq))
+		if err != nil || code != http.StatusBadRequest {
+			r.unexpected()
+			return "unexpected"
+		}
+		return "400"
+	case OpHot:
+		// Submit only: the point is the answer-from-books latency, and
+		// the final sweep settles any key whose first submit is still
+		// live at stage end.
+		code, key, err := r.post(r.cfg.Body(op))
+		return r.recordSubmit(code, key, err)
+	case OpCold:
+		code, key, err := r.post(r.cfg.Body(op))
+		out := r.recordSubmit(code, key, err)
+		if key != "" {
+			r.waitTerminal(key)
+		}
+		return out
+	case OpCancel:
+		code, key, err := r.post(r.cfg.Body(op))
+		out := r.recordSubmit(code, key, err)
+		if key == "" {
+			return out
+		}
+		ccode, _, err := r.request(http.MethodDelete, "/v1/jobs/"+key, nil)
+		// 202: canceled. 409: the job won the race and finished first —
+		// legitimate under concurrency; the status poll below settles
+		// which.
+		if err != nil || (ccode != http.StatusAccepted && ccode != http.StatusConflict) {
+			r.unexpected()
+			return "unexpected"
+		}
+		r.waitTerminal(key)
+		return out
+	case OpTimeout:
+		code, key, err := r.post(r.cfg.Body(op))
+		out := r.recordSubmit(code, key, err)
+		if key != "" {
+			r.waitTerminal(key)
+		}
+		return out
+	}
+	r.unexpected()
+	return "unexpected"
+}
+
+// post submits a body and returns (status code, job key) — key empty
+// unless the submit was accepted with a parsable job view.
+func (r *runner) post(body []byte) (int, string, error) {
+	code, data, err := r.request(http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return 0, "", err
+	}
+	if code != http.StatusOK && code != http.StatusAccepted {
+		return code, "", nil
+	}
+	var v jobView
+	if err := json.Unmarshal(data, &v); err != nil || v.ID == "" {
+		return code, "", fmt.Errorf("unparsable submit response: %q", data)
+	}
+	return code, v.ID, nil
+}
+
+// recordSubmit folds one submit response into the tally and the
+// distinct-job map, returning the outcome label.
+func (r *runner) recordSubmit(code int, key string, err error) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil && code == http.StatusOK && key != "":
+		r.tally.SubmitOK200++
+	case err == nil && code == http.StatusAccepted && key != "":
+		r.tally.SubmitAccepted202++
+	case err == nil && code == http.StatusServiceUnavailable:
+		r.tally.SubmitRejected503++
+		return "503"
+	default:
+		r.tally.Unexpected++
+		return "unexpected"
+	}
+	if _, seen := r.jobs[key]; !seen {
+		r.jobs[key] = ""
+		r.tally.DistinctAccepted++
+	}
+	return strconv.Itoa(code)
+}
+
+// waitTerminal polls one job until it reaches a terminal status,
+// recording the status in the distinct-job map.
+func (r *runner) waitTerminal(key string) {
+	for i := 0; i < r.cfg.PollBudget; i++ {
+		code, data, err := r.request(http.MethodGet, "/v1/jobs/"+key, nil)
+		if err != nil || code != http.StatusOK {
+			r.unexpected()
+			return
+		}
+		var v jobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			r.unexpected()
+			return
+		}
+		if terminal(v.Status) {
+			r.mu.Lock()
+			r.jobs[key] = v.Status
+			r.mu.Unlock()
+			return
+		}
+		r.cfg.Sleep(r.cfg.PollInterval)
+	}
+	r.unexpected() // stuck job: poll budget exhausted
+}
+
+// sweep polls every distinct job not yet seen terminal (hot keys whose
+// only ops were submits, cancel races) so the end-of-run gauges are
+// zero and every key has a final status.
+func (r *runner) sweep() {
+	r.mu.Lock()
+	var pending []string
+	for key, status := range r.jobs {
+		if !terminal(status) {
+			pending = append(pending, key)
+		}
+	}
+	r.mu.Unlock()
+	for _, key := range pending {
+		r.waitTerminal(key)
+	}
+}
+
+// countStatuses folds the distinct-job final statuses into the tally.
+func (r *runner) countStatuses() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, status := range r.jobs {
+		switch status {
+		case "done":
+			r.tally.Done++
+		case "failed":
+			r.tally.Failed++
+		case "canceled":
+			r.tally.Canceled++
+		case "timeout":
+			r.tally.Timeout++
+		}
+	}
+}
+
+// classStats builds the per-class latency and outcome table.
+func (r *runner) classStats() []ClassStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ClassStats
+	for _, c := range Classes() {
+		if len(r.samples[c]) == 0 {
+			continue
+		}
+		cs := classStatsFrom(c.String(), r.samples[c])
+		cs.Outcomes = r.counts[c]
+		out = append(out, cs)
+	}
+	return out
+}
+
+func (r *runner) unexpected() {
+	r.mu.Lock()
+	r.tally.Unexpected++
+	r.mu.Unlock()
+}
+
+// request performs one HTTP round trip and slurps the body.
+func (r *runner) request(method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.cfg.BaseURL+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// jobView is the slice of the daemon's job JSON the harness needs. The
+// daemon's job id IS the spec's content address, which is what makes
+// distinct-key accounting possible from the client side alone.
+type jobView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+// terminal reports whether a wire status string is a resting state.
+// The four words are the daemon's public API (docs/SERVICE.md), not an
+// import of its internals.
+func terminal(status string) bool {
+	switch status {
+	case "done", "failed", "canceled", "timeout":
+		return true
+	}
+	return false
+}
+
+// malformedBody deterministically varies the garbage the malformed
+// class posts: unknown fields (the API rejects them), bare non-objects,
+// and truncated JSON. All are vocabulary-free — they exercise the 400
+// path without knowing any experiment names.
+func malformedBody(seq int) []byte {
+	switch seq % 3 {
+	case 0:
+		return []byte(`{"no-such-field":true}`)
+	case 1:
+		return []byte(`"not an object"`)
+	default:
+		return []byte(`{"truncated":`)
+	}
+}
+
+// WaitHealthy polls baseURL/healthz until it answers 200, for
+// harnesses that just started the daemon. attempts*interval bounds the
+// wait; the last error is returned on failure.
+func WaitHealthy(client *http.Client, baseURL string, attempts int, interval time.Duration, sleep func(time.Duration)) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if sleep == nil {
+		sleep = time.Sleep //simlint:allow determinism startup backoff against a real daemon
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		sleep(interval)
+	}
+	return fmt.Errorf("load: %s never became healthy: %w", baseURL, lastErr)
+}

@@ -1,0 +1,170 @@
+package load
+
+import (
+	"math"
+	"testing"
+)
+
+func mustGen(t *testing.T, mix Mix, hotKeys int, zipfS float64, seed uint64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(mix, hotKeys, zipfS, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Two generators with equal parameters must emit byte-identical op
+// sequences — the determinism the LOAD_n.json replay promise rests on.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := mustGen(t, DefaultMix(), 8, 1.1, 42)
+	b := mustGen(t, DefaultMix(), 8, 1.1, 42)
+	for i := 0; i < 5000; i++ {
+		if oa, ob := a.Next(), b.Next(); oa != ob {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+// A different seed must change the hot-key choices (the only sampled
+// part) while leaving the class schedule identical (it is round-robin,
+// not sampled).
+func TestGeneratorSeedScopesOnlyHotKeys(t *testing.T) {
+	a := mustGen(t, DefaultMix(), 32, 1.1, 1)
+	b := mustGen(t, DefaultMix(), 32, 1.1, 2)
+	hotDiffers := false
+	for i := 0; i < 2000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Class != ob.Class {
+			t.Fatalf("op %d class schedule diverged under seed change: %v vs %v", i, oa.Class, ob.Class)
+		}
+		if oa.Class == OpHot && oa.Key != ob.Key {
+			hotDiffers = true
+		}
+		if oa.Class != OpHot && oa.Key != ob.Key {
+			t.Fatalf("op %d non-hot key diverged under seed change: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if !hotDiffers {
+		t.Fatal("seeds 1 and 2 produced identical hot-key streams")
+	}
+}
+
+// The smooth-WRR schedule makes mix proportions exact, not asymptotic:
+// every window of Total() consecutive ops contains each class exactly
+// weight-many times.
+func TestMixProportionsExact(t *testing.T) {
+	for _, mix := range []Mix{
+		DefaultMix(),
+		{Hot: 7, Cold: 3, Timeout: 1},
+		{Cold: 1},
+		{Hot: 1, Cold: 1, Cancel: 1, Timeout: 1, Malformed: 1},
+	} {
+		g := mustGen(t, mix, 4, 1.0, 9)
+		period := mix.Total()
+		want := mix.weights()
+		for window := 0; window < 40; window++ {
+			var got [numClasses]int
+			for i := 0; i < period; i++ {
+				got[g.Next().Class]++
+			}
+			if got != want {
+				t.Fatalf("mix %+v window %d: class counts %v, want %v", mix, window, got, want)
+			}
+		}
+	}
+}
+
+// Cold, cancel, and timeout keys must each be a dense unique sequence
+// 0,1,2,... — uniqueness is what lets the reconciler equate
+// distinct-keys with submit counts.
+func TestUniqueKeysPerClass(t *testing.T) {
+	g := mustGen(t, DefaultMix(), 8, 1.1, 7)
+	next := map[OpClass]int{}
+	for i := 0; i < 3000; i++ {
+		op := g.Next()
+		switch op.Class {
+		case OpCold, OpCancel, OpTimeout:
+			if op.Key != next[op.Class] {
+				t.Fatalf("op %d: %v key %d, want %d", i, op.Class, op.Key, next[op.Class])
+			}
+			next[op.Class]++
+		case OpHot:
+			if op.Key < 0 || op.Key >= 8 {
+				t.Fatalf("hot key %d outside [0,8)", op.Key)
+			}
+		}
+	}
+	for _, c := range []OpClass{OpCold, OpCancel, OpTimeout} {
+		if next[c] == 0 {
+			t.Fatalf("class %v never emitted", c)
+		}
+	}
+}
+
+// At zipf s=1.1 the rank-1 hot key must dominate rank-2 and the tail —
+// and at s=0 the distribution must flatten to uniform.
+func TestZipfSkew(t *testing.T) {
+	const n = 40000
+	counts := func(s float64) []int {
+		g := mustGen(t, Mix{Hot: 1}, 8, s, 3)
+		c := make([]int, 8)
+		for i := 0; i < n; i++ {
+			c[g.Next().Key]++
+		}
+		return c
+	}
+
+	skewed := counts(1.1)
+	if skewed[0] <= skewed[1] || skewed[0] <= 3*skewed[7] {
+		t.Fatalf("zipf 1.1 not skewed: %v", skewed)
+	}
+	// Inverse-CDF over the exact mass function: the realized frequency
+	// of rank 1 must be within 2% (absolute) of its analytic mass.
+	sum := 0.0
+	for k := 1; k <= 8; k++ {
+		sum += 1 / math.Pow(float64(k), 1.1)
+	}
+	wantTop := (1 / sum)
+	gotTop := float64(skewed[0]) / n
+	if math.Abs(gotTop-wantTop) > 0.02 {
+		t.Fatalf("rank-1 mass %.3f, analytic %.3f", gotTop, wantTop)
+	}
+
+	flat := counts(0)
+	for k, c := range flat {
+		if frac := float64(c) / n; math.Abs(frac-0.125) > 0.02 {
+			t.Fatalf("zipf 0 rank %d mass %.3f, want ~0.125 (%v)", k+1, frac, flat)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("hot=40, cold=30,cancel=10,timeout=10,malformed=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != DefaultMix() {
+		t.Fatalf("parsed %+v, want %+v", m, DefaultMix())
+	}
+	if m, err = ParseMix("cold=5"); err != nil || m != (Mix{Cold: 5}) {
+		t.Fatalf("cold-only: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "hot", "hot=x", "hot=-1", "warm=3", "hot=0,cold=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGeneratorRejectsBadParams(t *testing.T) {
+	if _, err := NewGenerator(Mix{}, 8, 1, 1); err == nil {
+		t.Fatal("zero mix accepted")
+	}
+	if _, err := NewGenerator(DefaultMix(), 0, 1, 1); err == nil {
+		t.Fatal("hotKeys 0 accepted")
+	}
+	if _, err := NewGenerator(DefaultMix(), 8, -1, 1); err == nil {
+		t.Fatal("negative zipf accepted")
+	}
+}

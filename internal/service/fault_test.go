@@ -11,11 +11,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -23,31 +21,19 @@ import (
 
 	"spp1000/internal/experiments"
 	"spp1000/internal/faultinject"
+	"spp1000/internal/load"
 	"spp1000/internal/store"
 )
 
-// metricsMap fetches /metrics and parses every `sppd_name value` line
-// into a map (values as float64; counters compare exactly as they are
+// metricsMap fetches /metrics via the load harness's shared scraper
+// and parses every `sppd_name value` line into a map with the prefix
+// stripped (values as float64; counters compare exactly as they are
 // integral).
 func metricsMap(t *testing.T, ts *httptest.Server) map[string]float64 {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/metrics")
+	m, err := load.Scrape(nil, ts.URL, load.SppdPrefix)
 	if err != nil {
 		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	m := make(map[string]float64)
-	for _, line := range strings.Split(string(data), "\n") {
-		name, val, ok := strings.Cut(line, " ")
-		if !ok {
-			continue
-		}
-		f, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			continue
-		}
-		m[strings.TrimPrefix(name, "sppd_")] = f
 	}
 	return m
 }
