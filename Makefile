@@ -6,7 +6,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_8.json
 LOAD_JSON ?= LOAD_8.json
 
-.PHONY: all verify build test race bench loadcheck vet doc lint cover faultmatrix pdes cluster reproduce quick serve servegw examples clean
+.PHONY: all verify build test race bench loadcheck vet doc lint lint-annotations cover faultmatrix pdes cluster reproduce quick serve servegw examples clean
 
 all: build vet lint test race
 
@@ -23,10 +23,19 @@ verify:
 doc:
 	$(GO) run ./cmd/doccheck
 
-# Enforce the simulator's determinism, sim-time, counter-handle, and
-# context-flow invariants (see docs/LINT.md).
+# Enforce the repo invariants: determinism, sim-time, counter-handle,
+# context-flow, deps, escape-gated hot paths, lock order, and the
+# metrics ledger (see docs/LINT.md).
 lint:
 	$(GO) run ./cmd/simlint
+
+# CI-facing lint: capture findings as JSON, then replay them as GitHub
+# error annotations. The annotate pass owns the exit status, so the
+# pipeline fails iff the findings array is non-empty — no pipefail
+# dependency. The JSON lands in simlint.json for upload or inspection.
+lint-annotations:
+	$(GO) run ./cmd/simlint -json > simlint.json || true
+	$(GO) run ./cmd/simlint -annotate < simlint.json
 
 build:
 	$(GO) build ./...

@@ -51,6 +51,19 @@ var requiredDocs = map[string]string{
 	"internal/lint":    "docs/LINT.md",
 }
 
+// requiredMentions maps a docs file to terms it must contain — the
+// analyzer names and driver modes whose contracts live in that file.
+// A term disappearing from the doc means the surface was renamed or
+// the doc rotted; either way the gate fails until they agree again.
+// Checked only in the no-argument (full-gate) mode.
+var requiredMentions = map[string][]string{
+	"docs/LINT.md": {
+		"allocfree", "lockorder", "ledger",
+		"//simlint:hotpath", "//simlint:metrics-writer",
+		"-json", "-annotate",
+	},
+}
+
 func main() {
 	dirs := os.Args[1:]
 	fullGate := len(dirs) == 0
@@ -79,8 +92,9 @@ func main() {
 	}
 }
 
-// checkDocs verifies every requiredDocs entry: the docs file exists
-// and names the package it is on the hook for.
+// checkDocs verifies every requiredDocs entry — the docs file exists
+// and names the package it is on the hook for — and every
+// requiredMentions term.
 func checkDocs() []string {
 	var missing []string
 	for pkg, doc := range requiredDocs {
@@ -91,6 +105,18 @@ func checkDocs() []string {
 		}
 		if !strings.Contains(string(data), pkg) {
 			missing = append(missing, fmt.Sprintf("%s: must mention %s (it documents that package)", doc, pkg))
+		}
+	}
+	for doc, terms := range requiredMentions {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			missing = append(missing, fmt.Sprintf("%s: required but unreadable: %v", doc, err))
+			continue
+		}
+		for _, term := range terms {
+			if !strings.Contains(string(data), term) {
+				missing = append(missing, fmt.Sprintf("%s: must mention %q (documented surface)", doc, term))
+			}
 		}
 	}
 	return missing

@@ -33,6 +33,8 @@ type Counter struct {
 }
 
 // Inc adds one. No-op on a nil counter.
+//
+//simlint:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v++
@@ -40,6 +42,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n (n may be any non-negative delta). No-op on a nil counter.
+//
+//simlint:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v += n
@@ -88,6 +92,8 @@ type Histogram struct {
 }
 
 // Observe records one sample. No-op on a nil histogram.
+//
+//simlint:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

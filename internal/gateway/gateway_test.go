@@ -421,6 +421,16 @@ func TestMergedMetricsReconcile(t *testing.T) {
 	if got := m["sppgw_submits_total"]; got != 2*seeds {
 		t.Fatalf("sppgw_submits_total = %v, want %d", got, 2*seeds)
 	}
+	// Every submit is an HTTP request the gateway served, so the request
+	// counter bounds the submit counter from above.
+	if got := m["sppgw_requests_total"]; got < 2*seeds {
+		t.Fatalf("sppgw_requests_total = %v, want >= %d", got, 2*seeds)
+	}
+	// No backend failed a scrape in this test, so the eviction counter
+	// is present and zero.
+	if got, ok := m["sppgw_backend_evictions_total"]; !ok || got != 0 {
+		t.Fatalf("sppgw_backend_evictions_total = %v (present=%v), want 0", got, ok)
+	}
 	// Per-backend lines re-sum to the cluster totals, name by name.
 	for _, name := range clusterSummed {
 		sum := 0.0

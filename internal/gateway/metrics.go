@@ -19,6 +19,8 @@ import (
 //
 // per backend and therefore for the cluster totals (the fault-matrix
 // suite asserts it through a mid-sweep backend kill).
+//
+//simlint:metrics-writer
 var clusterSummed = []string{
 	"jobs_submitted_total",
 	"jobs_deduplicated_total",
@@ -46,6 +48,8 @@ var clusterSummed = []string{
 // the backends that answered. A backend that fails its scrape is
 // evicted and omitted — its counters die with it, and the totals
 // remain internally consistent over the surviving set.
+//
+//simlint:metrics-writer
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.prune()
 	uptime := g.cfg.Now().Sub(g.started).Seconds()

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hotpathDirective marks a function whose body must stay free of heap
+// escapes. It lives in the function's doc comment:
+//
+//	// Run executes events in timestamp order.
+//	//
+//	//simlint:hotpath
+//	func (k *Kernel) Run() error { ... }
+const hotpathDirective = "//simlint:hotpath"
+
+// AllocFree is the escape gate over the measurement-critical hot paths:
+// every function annotated //simlint:hotpath is checked against the
+// compiler's own escape analysis (`go build -gcflags=<pkg>=-m=2`), and
+// any value escaping to the heap inside an annotated body is a finding
+// carrying the compiler's explanation. The per-event cost model of this
+// reproduction (7.5 ns/event, 0 allocs/event since PR 1; the 0-alloc
+// counters-disabled path since PR 3) is enforced at build time rather
+// than discovered in a benchmark three PRs later: a new closure, a
+// boxed interface argument, or a value captured by reference fails
+// `make lint` at the line that introduced it.
+//
+// The gate is two-sided. RequiredHotpaths (config.go) names the
+// functions that must carry the annotation, so deleting a
+// //simlint:hotpath comment — or renaming the function out from under
+// it — is itself a finding; and every escape the compiler attributes to
+// an annotated body fails lint unless the line carries a
+// //simlint:allow allocfree justification. Escapes in unannotated
+// functions of the same package are ignored: cold paths may allocate
+// freely.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid heap escapes inside //simlint:hotpath functions, verified against go build -gcflags=-m=2; required hot paths must stay annotated",
+	Run:  runAllocFree,
+}
+
+// hotFunc is one annotated (or required-but-unannotated) function.
+type hotFunc struct {
+	name      string // "Type.Method" or bare function name
+	decl      *ast.FuncDecl
+	file      string // absolute filename
+	startLine int    // body start line
+	endLine   int    // body end line
+	annotated bool
+}
+
+// declName renders a FuncDecl as "Type.Method" (pointer receivers
+// included under the base type name) or a bare function name.
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name + "." + d.Name.Name
+			}
+			return d.Name.Name
+		}
+	}
+}
+
+// hasHotpathDirective reports whether the function's doc comment carries
+// //simlint:hotpath.
+func hasHotpathDirective(d *ast.FuncDecl) bool {
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectHotFuncs gathers every function declaration of the package with
+// its annotation state and body line range.
+func collectHotFuncs(pkg *Package) []hotFunc {
+	var out []hotFunc
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Body.Pos())
+			end := pkg.Fset.Position(fd.Body.End())
+			out = append(out, hotFunc{
+				name:      declName(fd),
+				decl:      fd,
+				file:      start.Filename,
+				startLine: start.Line,
+				endLine:   end.Line,
+				annotated: hasHotpathDirective(fd),
+			})
+		}
+	}
+	return out
+}
+
+// escapeDiag is one parsed compiler escape diagnostic.
+type escapeDiag struct {
+	file string // absolute
+	line int
+	col  int
+	msg  string
+}
+
+// parseEscapes extracts the "escapes to heap" / "moved to heap"
+// headlines from `go build -gcflags=-m=2` output, resolving the
+// compiler's module-relative paths against root. The -m=2 flow
+// explanations (indented continuation lines sharing the headline's
+// position) are folded into the headline's message so the finding
+// carries the compiler's own reasoning.
+func parseEscapes(out string, root string) []escapeDiag {
+	var diags []escapeDiag
+	seen := make(map[string]bool) // "file:line:col:msg" dedup (with/without trailing colon)
+	byPos := make(map[string]int) // "file:line:col" -> most recent headline index
+	for _, line := range strings.Split(out, "\n") {
+		file, rest, ok := strings.Cut(line, ".go:")
+		if !ok || strings.HasPrefix(file, "#") {
+			continue
+		}
+		file += ".go"
+		lineStr, rest, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		colStr, msg, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		ln, err1 := strconv.Atoi(lineStr)
+		col, err2 := strconv.Atoi(colStr)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		posKey := fmt.Sprintf("%s:%d:%d", file, ln, col)
+		if strings.HasPrefix(msg, "   ") {
+			// Flow-explanation continuation: fold into the headline at
+			// the same position, if one was kept.
+			if i, ok := byPos[posKey]; ok && len(diags[i].msg) < 400 {
+				diags[i].msg += "; " + strings.TrimSpace(msg)
+			}
+			continue
+		}
+		msg = strings.TrimSpace(msg)
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		key := posKey + ":" + strings.TrimSuffix(msg, ":")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		byPos[posKey] = len(diags)
+		diags = append(diags, escapeDiag{file: file, line: ln, col: col, msg: strings.TrimSuffix(msg, ":")})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	return diags
+}
+
+func runAllocFree(pass *Pass) error {
+	rel, ok := pass.Pkg.RelPath()
+	if !ok {
+		return nil
+	}
+	funcs := collectHotFuncs(pass.Pkg)
+	byName := make(map[string]*hotFunc, len(funcs))
+	anyAnnotated := false
+	for i := range funcs {
+		byName[funcs[i].name] = &funcs[i]
+		if funcs[i].annotated {
+			anyAnnotated = true
+		}
+	}
+
+	// Inventory: the declared hot paths must stay annotated. A required
+	// function that no longer exists at all is reported at the package
+	// clause — the gate must not silently evaporate with a rename.
+	for _, name := range RequiredHotpaths[rel] {
+		hf, exists := byName[name]
+		switch {
+		case !exists:
+			pass.Reportf(pass.Pkg.Files[0].Package,
+				"required hot path %s.%s not found: update RequiredHotpaths in internal/lint/config.go if it moved, or restore the function", rel, name)
+		case !hf.annotated:
+			pass.Reportf(hf.decl.Pos(),
+				"%s is a declared hot path (RequiredHotpaths) and must carry %s in its doc comment", name, hotpathDirective)
+		}
+	}
+	if !anyAnnotated {
+		return nil
+	}
+
+	// One compiler run per annotated package: ask gc for its escape
+	// analysis and attribute the headlines to annotated bodies. Go
+	// replays cached compile diagnostics, so an unchanged package costs
+	// one cache probe, not a rebuild.
+	root := pass.Pkg.ModuleRoot()
+	cmd := exec.Command("go", "build", "-gcflags="+pass.Pkg.PkgPath+"=-m=2", pass.Pkg.PkgPath)
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go build -gcflags=-m=2 %s: %v\n%s", pass.Pkg.PkgPath, err, out.String())
+	}
+	for _, esc := range parseEscapes(out.String(), root) {
+		for i := range funcs {
+			hf := &funcs[i]
+			if !hf.annotated || hf.file != esc.file || esc.line < hf.startLine || esc.line > hf.endLine {
+				continue
+			}
+			pos := token.Position{Filename: esc.file, Line: esc.line, Column: esc.col}
+			pass.ReportAt(pos, "heap escape in hot path %s: %s", hf.name, esc.msg)
+			break
+		}
+	}
+	return nil
+}

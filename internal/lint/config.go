@@ -124,6 +124,51 @@ var SimPureLeaves = []string{
 	"internal/rng",
 }
 
+// RequiredHotpaths maps module-relative package paths to the functions
+// (named "Type.Method" for methods on Type's base type, or a bare
+// function name) that MUST carry a //simlint:hotpath annotation: the
+// measurement-critical paths whose zero-allocation discipline the
+// paper's cycle-accurate numbers rest on. The allocfree analyzer fails
+// if any listed function exists without the annotation (or has been
+// renamed away), so the escape gate cannot be turned off by deleting
+// one comment.
+var RequiredHotpaths = map[string][]string{
+	// The event-kernel inner loop: pop, clock advance, direct Proc
+	// resume or callback dispatch — 0 allocs/event since PR 1.
+	"internal/sim": {
+		"Kernel.Run", "Kernel.RunUntil", "Kernel.atProc", "Kernel.resumeProc",
+		"eventHeap.push", "eventHeap.pop", "Proc.Delay",
+	},
+	// The counters-disabled path: a nil-receiver branch and nothing
+	// else (PR 3's 0-alloc contract).
+	"internal/counters": {"Counter.Inc", "Counter.Add", "Histogram.Observe"},
+	// The PDES stripe worker body: runs once per partition per window.
+	"internal/parsim": {"Coordinator.runPart"},
+	// The daemon's cache hot path: a hash lookup answering repeat
+	// submissions.
+	"internal/resultcache": {"Cache.Lookup"},
+}
+
+// MetricsEmitterPackages lists the module-relative package paths whose
+// /metrics writers define the service's metric vocabulary. The ledger
+// analyzer requires each to carry at least one //simlint:metrics-writer
+// annotation and cross-checks every metric name those writers emit.
+var MetricsEmitterPackages = []string{
+	"internal/service",
+	"internal/gateway",
+}
+
+// MetricsReconcilePackage is the module-relative path of the load
+// harness holding the client-vs-server reconcile equations — the other
+// side of the metrics ledger.
+const MetricsReconcilePackage = "internal/load"
+
+// MetricsPrefixes are the wire-format namespaces stripped when matching
+// metric names across the ledger (the service emits sppd_*, the gateway
+// re-emits cluster sums as sppgw_cluster_* and its own counters as
+// sppgw_*).
+var MetricsPrefixes = []string{"sppgw_cluster_", "sppgw_backend_", "sppgw_", "sppd_"}
+
 // SimPureLeaf reports whether the full import path is one of the
 // SimPureLeaves (or in their subtrees).
 func SimPureLeaf(pkgPath string) bool {

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding — the
+// `simlint -json` wire schema. Field names are part of the tool's
+// contract (CI turns them into GitHub annotations; see docs/LINT.md):
+//
+//	[
+//	  {"file": "internal/sim/kernel.go", "line": 204, "col": 9,
+//	   "analyzer": "allocfree", "message": "heap escape in hot path ..."}
+//	]
+//
+// File paths are emitted exactly as the loader resolved them (absolute,
+// unless the driver shortened them relative to its working directory).
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON writes diags to w as an indented JSON array, empty
+// findings included (an empty run encodes as []).
+func EncodeJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeJSON reads a `simlint -json` array back into diagnostics — the
+// inverse of EncodeJSON, used by the driver's -annotate mode.
+func DecodeJSON(r io.Reader) ([]Diagnostic, error) {
+	var in []JSONDiagnostic
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("simlint json: %w", err)
+	}
+	diags := make([]Diagnostic, 0, len(in))
+	for _, j := range in {
+		d := Diagnostic{Analyzer: j.Analyzer, Message: j.Message}
+		d.Pos.Filename = j.File
+		d.Pos.Line = j.Line
+		d.Pos.Column = j.Col
+		diags = append(diags, d)
+	}
+	return diags, nil
+}

@@ -17,6 +17,17 @@
 //     of minting context.Background/TODO.
 //   - deps: sim-independent infrastructure (internal/store,
 //     internal/faultinject) must not import sim-core packages.
+//   - allocfree: //simlint:hotpath functions stay free of heap escapes,
+//     verified against the compiler's own escape analysis
+//     (go build -gcflags=-m=2), and the RequiredHotpaths inventory keeps
+//     the annotations themselves from silently disappearing.
+//   - lockorder: the interprocedural sync.Mutex/RWMutex acquisition graph
+//     over host and pdes packages has no cycles (no ABBA deadlocks, no
+//     reacquisition self-deadlocks).
+//   - ledger: every metric name an annotated //simlint:metrics-writer
+//     emits appears in the reconcile equations (internal/load or the
+//     metrics tests) and in the docs, and every name the reconcile side
+//     references is actually emitted.
 //
 // Findings are suppressed line-by-line with
 //
@@ -36,15 +47,24 @@ import (
 )
 
 // An Analyzer checks one repo invariant over a type-checked package. It is
-// the local analogue of golang.org/x/tools/go/analysis.Analyzer.
+// the local analogue of golang.org/x/tools/go/analysis.Analyzer. An analyzer
+// sets Run, RunModule, or both: Run sees one package at a time, RunModule sees
+// the whole loaded package set at once (for cross-package properties such as
+// the lock graph or the metrics ledger).
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //simlint:allow
 	// directives.
 	Name string
 	// Doc is a one-line description of the invariant the analyzer guards.
 	Doc string
-	// Run checks one package, reporting findings through the Pass.
+	// Run checks one package, reporting findings through the Pass. May be
+	// nil for module-only analyzers.
 	Run func(*Pass) error
+	// RunModule checks the loaded package set as a whole, reporting
+	// findings through the ModulePass. May be nil for per-package
+	// analyzers. It runs once per lint invocation, after the per-package
+	// passes.
+	RunModule func(*ModulePass) error
 }
 
 // A Pass connects one Analyzer run to one Package and collects its findings.
@@ -61,6 +81,49 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an already-resolved file position — the
+// entry point for analyzers that attribute diagnostics produced outside
+// the type-checker (the allocfree analyzer repositions the compiler's
+// own escape diagnostics).
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A ModulePass connects one module-wide Analyzer run to the whole loaded
+// package set. All packages of one Load share a FileSet, so positions
+// resolve uniformly regardless of which package a node came from.
+type ModulePass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Pkgs is every loaded package, in import-path order.
+	Pkgs []*Package
+
+	fset   *token.FileSet
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos (resolved against the shared FileSet).
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an already-resolved file position.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -85,27 +148,46 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, SimTime, CounterHandle, CtxFlow, Deps}
+	return []*Analyzer{Determinism, SimTime, CounterHandle, CtxFlow, Deps, AllocFree, LockOrder, Ledger}
 }
 
 // Run executes the analyzers over the packages, applies the //simlint:allow
 // suppressions, and returns the surviving findings sorted by position.
+// Per-package passes run first (package by package), then each analyzer's
+// module-wide pass over the full set; one suppression table spanning every
+// loaded file filters both kinds of finding identically.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	allow := newAllowTable()
 	for _, pkg := range pkgs {
-		allow, malformed := collectAllows(pkg)
+		malformed := collectAllows(pkg, allow)
 		diags = append(diags, malformed...)
-		var raw []Diagnostic
+	}
+	var raw []Diagnostic
+	record := func(d Diagnostic) { raw = append(raw, d) }
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) { raw = append(raw, d) }}
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: record}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
-		for _, d := range raw {
-			if !allow.allows(d) {
-				diags = append(diags, d)
-			}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil || len(pkgs) == 0 {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, fset: pkgs[0].Fset, report: record}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s (module pass): %w", a.Name, err)
+		}
+	}
+	for _, d := range raw {
+		if !allow.allows(d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -38,6 +38,26 @@ func TestDeps(t *testing.T) {
 		lint.Deps)
 }
 
+// TestAllocFree covers both sides of the escape gate: compiler-reported
+// escapes inside annotated bodies (./internal/hotpath), and a
+// RequiredHotpaths function that has lost its annotation
+// (./internal/resultcache). It shells out to `go build -gcflags=-m=2`.
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, fixmod,
+		[]string{"./internal/hotpath", "./internal/resultcache"},
+		lint.AllocFree)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, fixmod, []string{"./internal/gateway"}, lint.LockOrder)
+}
+
+// TestLedger runs against its own shadow module so the fixture's docs/
+// directory and reconcile package don't collide with the other fixtures.
+func TestLedger(t *testing.T) {
+	linttest.Run(t, "testdata/ledgermod", []string{"./..."}, lint.Ledger)
+}
+
 func TestSimPureLeaf(t *testing.T) {
 	for path, want := range map[string]bool{
 		"spp1000/internal/rng":     true,

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // A Package is one type-checked, comment-preserving package ready for
@@ -33,6 +34,30 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-checker's expression/object tables.
 	Info *types.Info
+}
+
+// RelPath reports the package's module-relative import path ("" for the
+// module root, "internal/sim" for spp1000/internal/sim), or ok=false for
+// packages outside the module.
+func (p *Package) RelPath() (string, bool) {
+	if p.PkgPath == ModulePath {
+		return "", true
+	}
+	rel, ok := strings.CutPrefix(p.PkgPath, ModulePath+"/")
+	return rel, ok
+}
+
+// ModuleRoot reports the filesystem directory of the module the package
+// belongs to, derived from its source directory and module-relative
+// import path. Analyzers that shell out to the go tool (allocfree) or
+// read sibling surfaces off disk (ledger: docs, test files) anchor
+// there, which keeps them correct for shadow fixture modules too.
+func (p *Package) ModuleRoot() string {
+	rel, ok := p.RelPath()
+	if !ok || rel == "" {
+		return p.Dir
+	}
+	return strings.TrimSuffix(p.Dir, string(filepath.Separator)+filepath.FromSlash(rel))
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.

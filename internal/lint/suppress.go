@@ -21,12 +21,21 @@ const (
 	allowFilePrefix = "//simlint:allow-file "
 )
 
-// allowTable records which analyzers are suppressed where.
+// allowTable records which analyzers are suppressed where. Filenames are
+// unique across a Load, so one table spans every loaded package.
 type allowTable struct {
 	// file maps filename -> analyzer name (or "all") -> file-wide allow.
 	file map[string]map[string]bool
 	// line maps filename -> line -> analyzer name (or "all") -> allow.
 	line map[string]map[int]map[string]bool
+}
+
+// newAllowTable returns an empty suppression table.
+func newAllowTable() *allowTable {
+	return &allowTable{
+		file: make(map[string]map[string]bool),
+		line: make(map[string]map[int]map[string]bool),
+	}
 }
 
 func (t *allowTable) allows(d Diagnostic) bool {
@@ -37,14 +46,10 @@ func (t *allowTable) allows(d Diagnostic) bool {
 	return names["all"] || names[d.Analyzer]
 }
 
-// collectAllows scans a package's comments for simlint directives. It
-// returns the suppression table and one "simlint" diagnostic per
+// collectAllows scans a package's comments for simlint directives,
+// folding them into tab. It returns one "simlint" diagnostic per
 // malformed directive (missing analyzer name or missing reason).
-func collectAllows(pkg *Package) (*allowTable, []Diagnostic) {
-	tab := &allowTable{
-		file: make(map[string]map[string]bool),
-		line: make(map[string]map[int]map[string]bool),
-	}
+func collectAllows(pkg *Package, tab *allowTable) []Diagnostic {
 	var malformed []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -99,7 +104,7 @@ func collectAllows(pkg *Package) (*allowTable, []Diagnostic) {
 			}
 		}
 	}
-	return tab, malformed
+	return malformed
 }
 
 func malformedAt(pkg *Package, pos token.Pos) Diagnostic {

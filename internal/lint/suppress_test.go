@@ -26,7 +26,8 @@ func TestAllowDirectiveCoversLineAndNextLine(t *testing.T) {
 var a = 1
 var b = 2
 `)
-	tab, malformed := collectAllows(pkg)
+	tab := newAllowTable()
+	malformed := collectAllows(pkg, tab)
 	if len(malformed) != 0 {
 		t.Fatalf("malformed = %v, want none", malformed)
 	}
@@ -53,7 +54,8 @@ var a = 1
 //simlint:allow all everything goes here
 var b = 2
 `)
-	tab, malformed := collectAllows(pkg)
+	tab := newAllowTable()
+	malformed := collectAllows(pkg, tab)
 	if len(malformed) != 0 {
 		t.Fatalf("malformed = %v, want none", malformed)
 	}
@@ -78,7 +80,8 @@ package fix
 
 var a = 1
 `)
-	tab, malformed := collectAllows(pkg)
+	tab := newAllowTable()
+	malformed := collectAllows(pkg, tab)
 	if len(malformed) != 0 {
 		t.Fatalf("malformed = %v, want none", malformed)
 	}
@@ -102,7 +105,7 @@ var b = 2
 //simlint:allow-file simtime
 var c = 3
 `)
-	_, malformed := collectAllows(pkg)
+	malformed := collectAllows(pkg, newAllowTable())
 	if len(malformed) != 3 {
 		t.Fatalf("got %d malformed diagnostics, want 3: %v", len(malformed), malformed)
 	}

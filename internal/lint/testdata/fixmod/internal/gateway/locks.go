@@ -1,0 +1,60 @@
+// Package gateway is the lockorder fixture: an ABBA cycle between two
+// struct-field mutexes, and a reacquisition self-deadlock through a
+// call chain.
+package gateway
+
+import "sync"
+
+// Hub holds two locks that Join and Leave take in opposite orders.
+type Hub struct {
+	mu  sync.Mutex
+	reg sync.Mutex
+}
+
+// Join acquires mu then reg.
+func (h *Hub) Join() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reg.Lock() // want "lock-order cycle among \\{Hub.mu, Hub.reg\\}"
+	defer h.reg.Unlock()
+}
+
+// Leave acquires reg then mu — the reversed order that closes the cycle.
+func (h *Hub) Leave() {
+	h.reg.Lock()
+	defer h.reg.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+// Pool reacquires its own lock through a helper call.
+type Pool struct {
+	mu sync.Mutex
+}
+
+// Reap holds mu across a call to scan, which takes mu again.
+func (p *Pool) Reap() {
+	p.mu.Lock()
+	p.scan() // want "Pool.mu acquired while already held"
+	p.mu.Unlock()
+}
+
+func (p *Pool) scan() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+// Ordered takes the same two locks as Join, in the same order: a
+// consistent order on its own is not a finding.
+type Ordered struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Both nests b inside a, and nothing ever takes them the other way.
+func (o *Ordered) Both() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+}

@@ -1,0 +1,35 @@
+// Package hotpath is the allocfree fixture: annotated functions whose
+// bodies the analyzer gates against compiler-reported heap escapes.
+package hotpath
+
+import "fmt"
+
+// Tick is escape-free: the annotation is satisfiable.
+//
+//simlint:hotpath
+func Tick(n int) int {
+	return n + 1
+}
+
+// Boxed escapes its argument into an interface — the canonical hot-path
+// regression the gate exists to catch.
+//
+//simlint:hotpath
+func Boxed(n int) any {
+	return n // want "heap escape in hot path Boxed"
+}
+
+// Logged escapes through fmt boxing, but the line carries a reasoned
+// allow, so the finding is suppressed.
+//
+//simlint:hotpath
+func Logged(n int) string {
+	//simlint:allow allocfree fixture: diagnostic formatting accepted on this path
+	return fmt.Sprintf("%d", n)
+}
+
+// Cold allocates freely: unannotated functions are out of scope even in
+// a package that has hot paths.
+func Cold(n int) *int {
+	return &n
+}

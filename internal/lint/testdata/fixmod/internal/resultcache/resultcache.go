@@ -1,0 +1,13 @@
+// Package resultcache is the allocfree inventory fixture: it declares
+// the function RequiredHotpaths lists for internal/resultcache but
+// without the //simlint:hotpath annotation, so the analyzer must insist
+// the gate be restored.
+package resultcache
+
+// Cache is a stand-in for the daemon's result cache.
+type Cache struct{}
+
+// Lookup exists but has lost its hotpath annotation.
+func (c *Cache) Lookup(key string) (string, bool) { // want "Cache.Lookup is a declared hot path"
+	return "", false
+}

@@ -1,0 +1,3 @@
+module spp1000
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package gateway is the ledger fixture's cluster-side emitter.
+package gateway
+
+// clusterSummed names the backend counters the gateway sums into
+// cluster totals.
+//
+//simlint:metrics-writer
+var clusterSummed = []string{
+	"jobs_done_total",
+	"ghost_summed_total", // want "metric ghost_summed_total is emitted but absent from the reconcile surface"
+}

@@ -1,0 +1,13 @@
+// Package load is the ledger fixture's reconcile side.
+package load
+
+// Reconcile checks the client-side ledger against scraped counters.
+func Reconcile(m map[string]int64) bool {
+	if m["jobs_done_total"] < 0 {
+		return false
+	}
+	if m["undocumented_total"] < 0 {
+		return false
+	}
+	return m["vanished_metric_total"] >= 0 // want "reconcile references metric vanished_metric_total that no annotated /metrics writer emits"
+}

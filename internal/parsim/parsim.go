@@ -341,6 +341,8 @@ func (c *Coordinator) Run() error {
 // runPart advances partition i through its share of the round: to its
 // horizon, or — for the sole holder of events — batch by batch until
 // its queue empties or it first posts a cross-partition message.
+//
+//simlint:hotpath
 func (c *Coordinator) runPart(i int) {
 	p := c.parts[i]
 	end := c.ends[i]

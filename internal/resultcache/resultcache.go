@@ -129,6 +129,8 @@ func (c *Cache) Get(key string) (string, bool) {
 // visible in the hit ratio. A miss is not counted here: the caller's
 // subsequent Do records it as the Miss when the computation actually
 // runs. In-flight entries are invisible, as with Get.
+//
+//simlint:hotpath
 func (c *Cache) Lookup(key string) (string, bool) {
 	if val, ok := c.Get(key); ok {
 		c.hits.Add(1)

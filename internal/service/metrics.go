@@ -19,6 +19,8 @@ func simCycles() int64 { return sim.TotalCycles() }
 // by its wall uptime: simulated-cycles-per-wall-second is the
 // end-to-end figure of merit for the whole engine (kernel fast path ×
 // host parallelism × cache hits all move it).
+//
+//simlint:metrics-writer
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	uptime := s.cfg.Now().Sub(s.started).Seconds()

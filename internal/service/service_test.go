@@ -382,6 +382,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"sppd_sim_cycles_per_wall_second ",
 		"sppd_cache_hit_ratio ",
 		"sppd_uptime_seconds ",
+		"sppd_queue_capacity ",
+		"sppd_busy_seconds_total ",
+		"sppd_cache_evictions_total 0",
+		"sppd_store_errors_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)

@@ -59,11 +59,13 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//simlint:hotpath
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
 	h.up(len(*h) - 1)
 }
 
+//simlint:hotpath
 func (h *eventHeap) pop() event {
 	old := *h
 	n := len(old) - 1
@@ -175,6 +177,8 @@ func (k *Kernel) At(t Cycles, fn func()) {
 // atProc schedules a direct resumption of p at absolute time t — the
 // timed-wake-up fast path. Equivalent to At(t, func() { resumeProc(p) })
 // but with no closure allocation and no indirect call in the event loop.
+//
+//simlint:hotpath
 func (k *Kernel) atProc(t Cycles, p *Proc) {
 	if t < k.now {
 		t = k.now
@@ -192,7 +196,11 @@ func (k *Kernel) OnDeadlock(fn func() string) { k.deadlock = fn }
 
 // Run executes events in timestamp order until the queue is empty.
 // It returns an error if Procs remain alive with nothing scheduled —
-// a deadlock in the simulated program.
+// a deadlock in the simulated program. The failure message is built in
+// deadlockError, off the hot path, so the loop itself stays free of
+// heap escapes.
+//
+//simlint:hotpath
 func (k *Kernel) Run() error {
 	for len(k.events) > 0 {
 		e := k.events.pop()
@@ -206,17 +214,27 @@ func (k *Kernel) Run() error {
 	}
 	k.account()
 	if k.live > 0 {
-		msg := fmt.Sprintf("sim: deadlock: %d procs alive, no events pending at %v", k.live, k.now)
-		if k.deadlock != nil {
-			msg += "\n" + k.deadlock()
-		}
-		return fmt.Errorf("%s", msg)
+		return k.deadlockError()
 	}
 	return nil
 }
 
+// deadlockError formats the deadlock failure: live Procs with nothing
+// scheduled. Cold by construction — it runs at most once per Run, after
+// the event loop has drained — so the fmt boxing it does is kept out of
+// the escape-gated hot path.
+func (k *Kernel) deadlockError() error {
+	msg := fmt.Sprintf("sim: deadlock: %d procs alive, no events pending at %v", k.live, k.now)
+	if k.deadlock != nil {
+		msg += "\n" + k.deadlock()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
 // RunUntil executes events until the queue is empty or the clock would
 // pass t. The clock is left at min(t, time of last event executed).
+//
+//simlint:hotpath
 func (k *Kernel) RunUntil(t Cycles) error {
 	for len(k.events) > 0 && k.events[0].at <= t {
 		e := k.events.pop()
@@ -251,6 +269,8 @@ func (k *Kernel) account() {
 
 // resumeProc transfers control to p until it parks or exits.
 // Must only be called from the kernel goroutine (inside an event).
+//
+//simlint:hotpath
 func (k *Kernel) resumeProc(p *Proc) {
 	p.resume <- struct{}{}
 	<-k.yield

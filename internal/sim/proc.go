@@ -76,6 +76,8 @@ func (p *Proc) unparkAt(t Cycles) {
 // clamped to zero — the virtual clock is monotonic, so the Proc cannot
 // travel backwards; a zero delay still yields, letting same-time events
 // interleave in deterministic scheduled order.
+//
+//simlint:hotpath
 func (p *Proc) Delay(d Cycles) {
 	if d < 0 {
 		d = 0
