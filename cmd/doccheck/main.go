@@ -39,6 +39,7 @@ var defaultPackages = []string{
 	"internal/parsim",
 	"internal/gateway",
 	"internal/load",
+	"internal/snapshot",
 }
 
 // requiredDocs maps packages to the narrative docs file that must
@@ -46,9 +47,10 @@ var defaultPackages = []string{
 // cannot silently rot away from the code they describe. Checked only
 // in the no-argument (full-gate) mode.
 var requiredDocs = map[string]string{
-	"internal/load":    "docs/BENCHMARKS.md",
-	"internal/gateway": "docs/SERVICE.md",
-	"internal/lint":    "docs/LINT.md",
+	"internal/load":     "docs/BENCHMARKS.md",
+	"internal/gateway":  "docs/SERVICE.md",
+	"internal/lint":     "docs/LINT.md",
+	"internal/snapshot": "DESIGN.md",
 }
 
 // requiredMentions maps a docs file to terms it must contain — the
@@ -61,6 +63,10 @@ var requiredMentions = map[string][]string{
 		"allocfree", "lockorder", "ledger",
 		"//simlint:hotpath", "//simlint:metrics-writer",
 		"-json", "-annotate",
+	},
+	"docs/SERVICE.md": {
+		"checkpointed", "sppd_jobs_checkpointed_total",
+		"sppgw_peer_probe_retries_total", "-checkpoint", "-resume",
 	},
 }
 

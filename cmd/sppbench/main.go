@@ -10,16 +10,23 @@
 //	sppbench -par 1              # serial (default: all host cores)
 //	sppbench -simpar 4           # partitioned-engine workers (1 = serial)
 //	sppbench -exp all -counters  # append per-component PMU counter tables
+//	sppbench -exp all -checkpoint run.ckpt -checkpoint-every 2
+//	                             # checkpoint progress every 2 experiments
+//	sppbench -resume run.ckpt    # resume a killed run from its checkpoint
 //
 // Every sweep point is an independent deterministic simulation, so the
 // experiments fan out across host cores through internal/runner; the
 // output is byte-identical for any -par value. -simpar independently
 // sets how many goroutines execute the hypernode partitions *inside*
 // one simulation on the PDES engine (internal/parsim); output is
-// byte-identical for any -simpar value too.
+// byte-identical for any -simpar value too. A checkpointed run killed
+// at any boundary and resumed prints byte-identical output as well —
+// the resume-exactness guarantee internal/snapshot's tests enforce.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +36,7 @@ import (
 	"spp1000/internal/experiments"
 	"spp1000/internal/parsim"
 	"spp1000/internal/runner"
+	"spp1000/internal/snapshot"
 )
 
 func main() {
@@ -38,6 +46,9 @@ func main() {
 	par := flag.Int("par", 0, "host workers for independent simulations (0 = all cores, 1 = serial)")
 	simpar := flag.Int("simpar", 0, "host workers for hypernode partitions inside one PDES simulation (0 or 1 = serial)")
 	withCounters := flag.Bool("counters", false, "append a per-component PMU counter breakdown to every experiment")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: save resumable progress at experiment boundaries")
+	every := flag.Int("checkpoint-every", 1, "experiments between checkpoint saves (with -checkpoint or -resume)")
+	resume := flag.String("resume", "", "resume from this checkpoint file (keeps checkpointing to it unless -checkpoint names another)")
 	flag.Parse()
 
 	if *par < 0 {
@@ -78,6 +89,44 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sppbench: %v\n", err)
 		os.Exit(2)
+	}
+	if *checkpoint != "" || *resume != "" {
+		if *withCounters {
+			fmt.Fprintln(os.Stderr, "sppbench: -counters cannot combine with -checkpoint/-resume (the checkpointed driver records counters in the checkpoint itself)")
+			os.Exit(2)
+		}
+		if *every < 1 {
+			fmt.Fprintf(os.Stderr, "sppbench: -checkpoint-every must be >= 1, got %d\n", *every)
+			os.Exit(2)
+		}
+		path := *checkpoint
+		if path == "" {
+			path = *resume
+		}
+		var prior *snapshot.Checkpoint
+		if *resume != "" {
+			switch c, rerr := snapshot.ReadFile(*resume); {
+			case rerr == nil:
+				prior = c
+			case errors.Is(rerr, os.ErrNotExist):
+				// Nothing to resume yet: a fresh run that checkpoints here.
+			case errors.Is(rerr, snapshot.ErrCorrupt):
+				fmt.Fprintf(os.Stderr, "sppbench: %s was corrupt and has been deleted; starting fresh\n", *resume)
+			default:
+				fmt.Fprintf(os.Stderr, "sppbench: %v\n", rerr)
+				os.Exit(1)
+			}
+		}
+		outs, _, err := experiments.RunCheckpointed(context.Background(), names, opts, prior, *every,
+			func(c *snapshot.Checkpoint) error { return snapshot.WriteFile(path, c) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sppbench: %v (completed progress is checkpointed in %s)\n", err, path)
+			os.Exit(1)
+		}
+		for i, name := range names {
+			fmt.Printf("=== %s ===\n%s\n", name, outs[i])
+		}
+		return
 	}
 	if *withCounters {
 		// Attribute counters per experiment: run the experiments one at

@@ -46,6 +46,16 @@ const (
 	// the cluster fault matrix, without needing a real process to die.
 	GatewayForward Point = "gateway.forward"
 
+	// GatewayPeerProbe fires in the sppgw gateway inside handlePeer,
+	// immediately before each candidate backend is probed for a store
+	// entry. Args: the candidate backend id, then the result key. A
+	// returned error is treated like a transport failure to that
+	// candidate: it is evicted and, if the whole pass comes up empty, the
+	// probe pass is retried once against the re-resolved ring — covering
+	// the window where a backend vanishes between the ring lookup and the
+	// probe.
+	GatewayPeerProbe Point = "gateway.peerprobe"
+
 	// PeerFetch fires in a clustered backend's peer-fetch client
 	// immediately before it asks the gateway for another backend's copy
 	// of a store entry. Arg: the result key. A returned error makes the

@@ -10,12 +10,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"testing"
 	"time"
 
 	"spp1000/internal/experiments"
 	"spp1000/internal/faultinject"
+	"spp1000/internal/store"
 )
 
 // TestBackendKillMidSweep is the headline fault drill: a two-backend
@@ -128,7 +130,8 @@ func TestBackendKillMidSweep(t *testing.T) {
 	sub := m["sppgw_cluster_jobs_submitted_total"]
 	acc := m["sppgw_cluster_jobs_deduplicated_total"] + m["sppgw_cluster_jobs_rejected_total"] +
 		m["sppgw_cluster_jobs_done_total"] + m["sppgw_cluster_jobs_failed_total"] +
-		m["sppgw_cluster_jobs_canceled_total"] + m["sppgw_cluster_jobs_timeout_total"]
+		m["sppgw_cluster_jobs_canceled_total"] + m["sppgw_cluster_jobs_timeout_total"] +
+		m["sppgw_cluster_jobs_checkpointed_total"]
 	if sub == 0 || sub != acc {
 		t.Errorf("survivor lifecycle: submitted %v, accounted %v", sub, acc)
 	}
@@ -202,6 +205,78 @@ func TestPeerFetchFailureRecomputes(t *testing.T) {
 	m := gwMetrics(t, ts.URL)
 	if got := m["sppgw_backend_f2_peer_hits_total"]; got != 0 {
 		t.Errorf("f2 peer_hits_total = %v, want 0", got)
+	}
+}
+
+// TestPeerProbeStaleWindowRetry drills the stale-candidates window in
+// the peer-probe path: the candidate list is a snapshot of the ring, so
+// a backend that dies between that lookup and its probe surfaces as a
+// transport failure mid-pass, while the entry's real holder — rejoining
+// inside that same window — is invisible to the pass. handlePeer must
+// then retry exactly once against the re-resolved membership and serve
+// the entry instead of answering a hard 404. The assertion on
+// sppgw_peer_probe_retries_total here is also what keeps that metric on
+// simlint's ledger reconcile surface.
+func TestPeerProbeStaleWindowRetry(t *testing.T) {
+	g, ts := newTestGateway(t, Config{HeartbeatTTL: time.Hour})
+
+	// h1 computes the entry while joined, then leaves gracefully — its
+	// HTTP server (and store export) stays up, but it is off the ring.
+	h1 := startBackend(t, g, ts.URL, "h1", nil)
+	v, resp := gwSubmit(t, ts.URL, seedBody(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	gwWait(t, ts.URL, v.ID, "done")
+	want, rresp := gwResult(t, ts.URL, v.ID)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", rresp.StatusCode)
+	}
+	g.Deregister("h1")
+
+	// The ring now holds only a corpse. The armed hook makes probing it
+	// fail like a refused connection — and re-registers h1 from inside
+	// that failure window, the membership churn the retry exists for:
+	// pass 1 sees only the corpse and comes back empty with a transport
+	// failure; the retry resolves fresh and finds the holder.
+	g.Register("stale", "http://127.0.0.1:1")
+	disarm := faultinject.Arm(faultinject.GatewayPeerProbe, func(args ...string) error {
+		if args[0] != "stale" {
+			return nil
+		}
+		g.Register("h1", h1.ts.URL)
+		return fmt.Errorf("injected: connection to %s refused", args[0])
+	})
+	defer disarm()
+
+	presp, err := http.Get(ts.URL + "/v1/peer/" + seedKey(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("peer fetch = %d, want 200 served by the retry pass", presp.StatusCode)
+	}
+	frame, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := store.Decode(frame); !ok || got != want {
+		t.Fatalf("peer entry decode ok=%v (%d frame bytes), want the original result intact", ok, len(frame))
+	}
+
+	m := gwMetrics(t, ts.URL)
+	if m["sppgw_peer_probe_retries_total"] != 1 {
+		t.Errorf("peer_probe_retries = %v, want exactly 1", m["sppgw_peer_probe_retries_total"])
+	}
+	// requests = 2: h1's own warm-miss lookup at submit time, then this
+	// drill's fetch — of which only the drill's found a holder.
+	if m["sppgw_peer_requests_total"] != 2 || m["sppgw_peer_hits_total"] != 1 {
+		t.Errorf("peer requests/hits = %v/%v, want 2/1",
+			m["sppgw_peer_requests_total"], m["sppgw_peer_hits_total"])
+	}
+	if m["sppgw_backends"] != 1 {
+		t.Errorf("live backends = %v, want 1 (the corpse evicted, the holder back)", m["sppgw_backends"])
 	}
 }
 

@@ -85,7 +85,11 @@ type Gateway struct {
 	unavailable  atomic.Int64 // 503s served because no backend was live
 	peerRequests atomic.Int64 // GET /v1/peer lookups received
 	peerHits     atomic.Int64 // peer lookups that found a valid entry
-	heartbeats   atomic.Int64 // join/heartbeat posts processed
+	// peerProbeRetries counts peer-probe passes rerun after a transport
+	// failure mid-pass (a candidate evicted between ring lookup and its
+	// probe) — the stale-candidates window the fault drill exercises.
+	peerProbeRetries atomic.Int64
+	heartbeats       atomic.Int64 // join/heartbeat posts processed
 }
 
 // New returns a gateway with an empty ring; backends join via

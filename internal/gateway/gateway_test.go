@@ -446,7 +446,8 @@ func TestMergedMetricsReconcile(t *testing.T) {
 	sub := m["sppgw_cluster_jobs_submitted_total"]
 	acc := m["sppgw_cluster_jobs_deduplicated_total"] + m["sppgw_cluster_jobs_rejected_total"] +
 		m["sppgw_cluster_jobs_done_total"] + m["sppgw_cluster_jobs_failed_total"] +
-		m["sppgw_cluster_jobs_canceled_total"] + m["sppgw_cluster_jobs_timeout_total"]
+		m["sppgw_cluster_jobs_canceled_total"] + m["sppgw_cluster_jobs_timeout_total"] +
+		m["sppgw_cluster_jobs_checkpointed_total"]
 	if sub != 2*seeds || sub != acc {
 		t.Errorf("cluster lifecycle: submitted %v, accounted %v, want both %d", sub, acc, 2*seeds)
 	}

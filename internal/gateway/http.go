@@ -236,9 +236,15 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 // key asks here, and the gateway probes the other live backends in
 // ring preference order — after a join, the first candidate past the
 // asker is exactly the key's previous owner — relaying the first
-// CRC-valid framed entry it finds. 404 means nobody has it and the
-// asker should compute; malformed keys are 400 (reusing the store's
-// key validation) because Spec.Key could never have minted them.
+// CRC-valid framed entry it finds. The candidate list is a snapshot of
+// the ring, so a backend that vanishes between that lookup and its
+// probe turns into a transport failure mid-pass; when that happens the
+// pass is retried exactly once against the freshly re-resolved ring
+// (the failed candidates were evicted, so the entry's current holder is
+// now in preference position) instead of answering a hard 404. 404
+// means nobody reachable has it and the asker should compute; malformed
+// keys are 400 (reusing the store's key validation) because Spec.Key
+// could never have minted them.
 func (g *Gateway) handlePeer(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	if !store.ValidKey(key) {
@@ -247,24 +253,49 @@ func (g *Gateway) handlePeer(w http.ResponseWriter, r *http.Request) {
 	}
 	g.peerRequests.Add(1)
 	exclude := r.URL.Query().Get("exclude")
+	data, sawFailure := g.peerProbe(key, exclude)
+	if data == nil && sawFailure {
+		// The stale-candidates window: re-resolve and retry once.
+		g.peerProbeRetries.Add(1)
+		data, _ = g.peerProbe(key, exclude)
+	}
+	if data == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no peer holds %s", key))
+		return
+	}
+	g.peerHits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// peerProbe runs one pass over key's candidate backends (resolved
+// fresh from the ring) and returns the first CRC-valid store entry,
+// plus whether any candidate failed at the transport level — the
+// signal that the pass may have raced an eviction and deserves one
+// retry. Failed candidates are evicted as a side effect, so a retry
+// pass resolves against the corrected membership.
+func (g *Gateway) peerProbe(key, exclude string) (data []byte, sawFailure bool) {
 	for _, b := range g.candidatesFor(key, exclude) {
-		resp, data, err := g.roundTrip(b, http.MethodGet, "/v1/store/"+key, nil)
+		if err := faultinject.Fire(faultinject.GatewayPeerProbe, b.id, key); err != nil {
+			g.evict(b.id)
+			sawFailure = true
+			continue
+		}
+		resp, body, err := g.roundTrip(b, http.MethodGet, "/v1/store/"+key, nil)
 		if err != nil {
 			g.evict(b.id)
+			sawFailure = true
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
 			continue
 		}
-		if _, ok := store.Decode(data); !ok {
+		if _, ok := store.Decode(body); !ok {
 			continue // corrupt in transit or at rest; let the asker recompute
 		}
-		g.peerHits.Add(1)
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(data)
-		return
+		return body, sawFailure
 	}
-	writeErr(w, http.StatusNotFound, fmt.Errorf("no peer holds %s", key))
+	return nil, sawFailure
 }
 
 // liveSorted snapshots the live backends sorted by id (deterministic

@@ -15,7 +15,7 @@ import (
 //
 //	jobs_submitted = jobs_deduplicated + jobs_rejected
 //	              + jobs_done (cached hits + computed) + jobs_failed
-//	              + jobs_canceled + jobs_timeout
+//	              + jobs_canceled + jobs_timeout + jobs_checkpointed
 //
 // per backend and therefore for the cluster totals (the fault-matrix
 // suite asserts it through a mid-sweep backend kill).
@@ -32,6 +32,7 @@ var clusterSummed = []string{
 	"jobs_failed_total",
 	"jobs_canceled_total",
 	"jobs_timeout_total",
+	"jobs_checkpointed_total",
 	"peer_hits_total",
 	"cache_hits_total",
 	"cache_misses_total",
@@ -68,6 +69,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("unavailable_total", "%d", g.unavailable.Load())
 	p("peer_requests_total", "%d", g.peerRequests.Load())
 	p("peer_hits_total", "%d", g.peerHits.Load())
+	p("peer_probe_retries_total", "%d", g.peerProbeRetries.Load())
 	p("heartbeats_total", "%d", g.heartbeats.Load())
 	p("uptime_seconds", "%.3f", uptime)
 

@@ -75,6 +75,7 @@ var SimCorePackages = []string{
 	"internal/ablation",
 	"internal/microbench",
 	"internal/trace",
+	"internal/snapshot",
 }
 
 // PDESPackages lists the module-relative import paths (each covering

@@ -401,6 +401,8 @@ func (r *runner) countStatuses() {
 			r.tally.Canceled++
 		case "timeout":
 			r.tally.Timeout++
+		case "checkpointed":
+			r.tally.Checkpointed++
 		}
 	}
 }
@@ -462,11 +464,12 @@ type jobView struct {
 }
 
 // terminal reports whether a wire status string is a resting state.
-// The four words are the daemon's public API (docs/SERVICE.md), not an
-// import of its internals.
+// The five words are the daemon's public API (docs/SERVICE.md), not an
+// import of its internals. "checkpointed" is terminal for a waiter —
+// the job only moves again if somebody resubmits it.
 func terminal(status string) bool {
 	switch status {
-	case "done", "failed", "canceled", "timeout":
+	case "done", "failed", "canceled", "timeout", "checkpointed":
 		return true
 	}
 	return false

@@ -123,13 +123,14 @@ type Tally struct {
 	// submit responses: the number of jobs that actually exist
 	// server-side because of this run.
 	DistinctAccepted int `json:"distinctAccepted"`
-	// Done/Failed/Canceled/Timeout count the distinct accepted keys by
-	// their final polled status. They sum to DistinctAccepted once every
-	// key has been polled to a terminal state.
-	Done     int `json:"done"`
-	Failed   int `json:"failed"`
-	Canceled int `json:"canceled"`
-	Timeout  int `json:"timeout"`
+	// Done/Failed/Canceled/Timeout/Checkpointed count the distinct
+	// accepted keys by their final polled status. They sum to
+	// DistinctAccepted once every key has been polled to a terminal state.
+	Done         int `json:"done"`
+	Failed       int `json:"failed"`
+	Canceled     int `json:"canceled"`
+	Timeout      int `json:"timeout"`
+	Checkpointed int `json:"checkpointed"`
 	// Unexpected counts responses outside the run's contract — wrong
 	// status codes, malformed response bodies, transport errors. Any
 	// nonzero value fails reconciliation outright.
@@ -171,8 +172,8 @@ type Reconciliation struct {
 //	submitted  = 200s + 202s + 503s      (400s never reach Submit)
 //	rejected   = 503s
 //	deduplicated = (200s + 202s) - distinct accepted keys
-//	done / failed / canceled / timeout = distinct keys polled to that
-//	                                     terminal status
+//	done / failed / canceled / timeout / checkpointed = distinct keys
+//	                                     polled to that terminal status
 //	done_cached, cache_hits, cache_coalesced = 0: with every key still
 //	    in the job table, resubmits coalesce at the table (dedup), so
 //	    the result cache is never consulted
@@ -202,6 +203,7 @@ func Reconcile(tally Tally, delta, final Metrics) Reconciliation {
 		counter("jobs_failed_total", tally.Failed),
 		counter("jobs_canceled_total", tally.Canceled),
 		counter("jobs_timeout_total", tally.Timeout),
+		counter("jobs_checkpointed_total", tally.Checkpointed),
 		counter("jobs_done_cached_total", 0),
 		counter("cache_hits_total", 0),
 		counter("cache_coalesced_total", 0),
@@ -209,7 +211,7 @@ func Reconcile(tally Tally, delta, final Metrics) Reconciliation {
 		gauge("jobs_running", 0),
 	}}
 	r.OK = tally.Unexpected == 0 &&
-		tally.Done+tally.Failed+tally.Canceled+tally.Timeout == tally.DistinctAccepted
+		tally.Done+tally.Failed+tally.Canceled+tally.Timeout+tally.Checkpointed == tally.DistinctAccepted
 	for _, c := range r.Checks {
 		r.OK = r.OK && c.OK
 	}

@@ -76,8 +76,8 @@ func TestReconcileExact(t *testing.T) {
 	if !r.OK {
 		t.Fatalf("reconcile failed:\n%s", r.Failures())
 	}
-	if len(r.Checks) != 12 {
-		t.Fatalf("%d checks, want 12", len(r.Checks))
+	if len(r.Checks) != 13 {
+		t.Fatalf("%d checks, want 13", len(r.Checks))
 	}
 }
 
@@ -141,5 +141,45 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	if got := Percentile([]float64{7}, 0.999); got != 7 {
 		t.Fatalf("singleton p999 = %v", got)
+	}
+}
+
+// The float-ceil regression: 0.9 × 500 = 450.00000000000006 in binary,
+// so a naive ceil(q·n) lands on rank 451 and reports the wrong sample.
+// Nearest-rank p90 of 500 samples is exactly the 450th (sorted[449]).
+func TestPercentileFloatRankExact(t *testing.T) {
+	s := make([]float64, 500)
+	for i := range s {
+		s[i] = float64(i + 1) // sample value == its 1-based rank
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.9, 450},   // the overshooting product
+		{0.5, 250},   // 0.5×500 is exact in binary; still rank 250
+		{0.999, 500}, // p999 of 500 must be an observed sample (the max)
+		{0.99, 495},
+		{1, 500},
+		{0.001, 1},
+	} {
+		if got := Percentile(s, tc.q); got != tc.want {
+			t.Fatalf("p%g of 500 = %v, want %v", tc.q*100, got, tc.want)
+		}
+	}
+}
+
+// An unsorted slice must be quietly sorted into a copy: the quantile is
+// computed over order statistics, and the caller's slice stays intact.
+func TestPercentileUnsortedInput(t *testing.T) {
+	s := []float64{9, 1, 7, 3, 5, 10, 2, 8, 6, 4}
+	orig := append([]float64(nil), s...)
+	if got := Percentile(s, 0.9); got != 9 {
+		t.Fatalf("p90 of unsorted = %v, want 9", got)
+	}
+	for i := range s {
+		if s[i] != orig[i] {
+			t.Fatalf("caller slice mutated at %d: %v", i, s)
+		}
 	}
 }

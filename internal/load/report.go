@@ -133,12 +133,23 @@ func classStatsFrom(class string, samples []float64) ClassStats {
 // Percentile returns the nearest-rank q-quantile (0 < q <= 1) of an
 // ascending-sorted slice: the smallest sample such that at least q of
 // the mass is at or below it. Nearest-rank never interpolates, so a
-// reported p999 is always a latency that actually happened.
+// reported p999 is always a latency that actually happened. An unsorted
+// slice is sorted into a copy first — callers should pre-sort, but a
+// quantile of misordered data would be silently meaningless.
 func Percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(math.Ceil(q * float64(len(sorted))))
+	if !sort.Float64sAreSorted(sorted) {
+		s := append([]float64(nil), sorted...)
+		sort.Float64s(s)
+		sorted = s
+	}
+	// ceil(q·n) computed in floats overshoots by one rank when q·n is an
+	// exact integer that lands just above it in binary (0.9 × 500 =
+	// 450.00000000000006 → rank 451), so back the product off by an
+	// epsilon far below any meaningful quantile step before rounding up.
+	rank := int(math.Ceil(q*float64(len(sorted)) - 1e-9))
 	if rank < 1 {
 		rank = 1
 	}

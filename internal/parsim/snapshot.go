@@ -1,0 +1,115 @@
+package parsim
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// coordMagic is the version tag of the coordinator snapshot record.
+const coordMagic = "spp-parsim-v1"
+
+// Snapshot writes the coordinator's state as a versioned, CRC32-guarded
+// multi-line record:
+//
+//	spp-parsim-v1 parts=<n> lookahead=<c> rounds=<n> <crc32-hex>
+//	part 0 seq=<n>
+//	<kernel record for partition 0>
+//	part 1 seq=<n>
+//	...
+//
+// The CRC in the header covers every byte after it. Snapshotting is
+// only legal at a drained boundary — between Run calls, every outbox
+// empty and every kernel quiescent — which is exactly when the
+// coordinator's whole state is the per-partition sequence counters plus
+// each kernel's (clock, seq, events) triple. Mid-window state (pending
+// cross-partition messages, parked procs) cannot be serialized and is
+// rejected.
+func (c *Coordinator) Snapshot(w io.Writer) error {
+	var body bytes.Buffer
+	for _, p := range c.parts {
+		if len(p.outbox) > 0 {
+			return fmt.Errorf("parsim: snapshot requires drained outboxes: partition %d holds %d pending messages", p.idx, len(p.outbox))
+		}
+		fmt.Fprintf(&body, "part %d seq=%d\n", p.idx, p.seq)
+		if err := p.K.Snapshot(&body); err != nil {
+			return fmt.Errorf("parsim: partition %d: %w", p.idx, err)
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s parts=%d lookahead=%d rounds=%d %08x\n",
+		coordMagic, len(c.parts), int64(c.lookahead), c.rounds, crc32.ChecksumIEEE(body.Bytes()))
+	if err == nil {
+		_, err = w.Write(body.Bytes())
+	}
+	return err
+}
+
+// Restore reads one Snapshot record into a coordinator built with the
+// same shape — identical partition count and lookahead, fresh kernels
+// that have run nothing — leaving every partition's sequence counter
+// and kernel exactly as snapshotted. Shape mismatches, CRC failures,
+// and non-fresh targets are errors: a restored coordinator must be
+// indistinguishable from the one that was snapshotted.
+func (c *Coordinator) Restore(r io.Reader) error {
+	if c.rounds != 0 {
+		return fmt.Errorf("parsim: restore target must be a fresh coordinator")
+	}
+	for _, p := range c.parts {
+		if p.seq != 0 || len(p.outbox) > 0 {
+			return fmt.Errorf("parsim: restore target partition %d is not fresh", p.idx)
+		}
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("parsim: restore: %w", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return fmt.Errorf("parsim: restore: truncated coordinator record")
+	}
+	head, body := string(data[:nl]), data[nl+1:]
+	var parts int
+	var lookahead, rounds int64
+	var crc uint32
+	if _, err := fmt.Sscanf(head, coordMagic+" parts=%d lookahead=%d rounds=%d %08x", &parts, &lookahead, &rounds, &crc); err != nil {
+		return fmt.Errorf("parsim: restore: malformed coordinator header %q", head)
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return fmt.Errorf("parsim: restore: coordinator record CRC mismatch")
+	}
+	if parts != len(c.parts) {
+		return fmt.Errorf("parsim: restore: snapshot has %d partitions, coordinator has %d", parts, len(c.parts))
+	}
+	if lookahead != int64(c.lookahead) {
+		return fmt.Errorf("parsim: restore: snapshot lookahead %d, coordinator lookahead %d", lookahead, int64(c.lookahead))
+	}
+	if rounds < 0 {
+		return fmt.Errorf("parsim: restore: negative round count")
+	}
+	rd := bytes.NewReader(body)
+	for _, p := range c.parts {
+		var line string
+		for {
+			b, err := rd.ReadByte()
+			if err != nil {
+				return fmt.Errorf("parsim: restore: truncated record at partition %d", p.idx)
+			}
+			if b == '\n' {
+				break
+			}
+			line += string(b)
+		}
+		var idx int
+		var seq int64
+		if _, err := fmt.Sscanf(line, "part %d seq=%d", &idx, &seq); err != nil || idx != p.idx || seq < 0 {
+			return fmt.Errorf("parsim: restore: malformed partition line %q (want partition %d)", line, p.idx)
+		}
+		if err := p.K.Restore(rd); err != nil {
+			return fmt.Errorf("parsim: partition %d: %w", p.idx, err)
+		}
+		p.seq = seq
+	}
+	c.rounds = rounds
+	return nil
+}

@@ -1,0 +1,118 @@
+package parsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spp1000/internal/sim"
+)
+
+// runPingPong drives a 2-partition coordinator through a cross-partition
+// exchange to completion, leaving nonzero clocks, seqs, and rounds.
+func runPingPong(t *testing.T) *Coordinator {
+	t.Helper()
+	k0, k1 := sim.NewKernel(), sim.NewKernel()
+	c, err := New(10, []*sim.Kernel{k0, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := c.Partition(0), c.Partition(1)
+	k0.At(0, func() {
+		p0.Post(1, 10, func() {
+			p1.Post(0, p1.K.Now()+10, func() {})
+		})
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoordinatorSnapshotRoundTrip(t *testing.T) {
+	c := runPingPong(t)
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	fresh, err := New(10, []*sim.Kernel{sim.NewKernel(), sim.NewKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if fresh.Rounds() != c.Rounds() {
+		t.Fatalf("rounds %d, want %d", fresh.Rounds(), c.Rounds())
+	}
+	for i := 0; i < c.Partitions(); i++ {
+		a, b := c.Partition(i), fresh.Partition(i)
+		if a.seq != b.seq || a.K.Now() != b.K.Now() || a.K.EventsProcessed() != b.K.EventsProcessed() {
+			t.Fatalf("partition %d diverged: (seq=%d now=%v events=%d) vs (seq=%d now=%v events=%d)",
+				i, b.seq, b.K.Now(), b.K.EventsProcessed(), a.seq, a.K.Now(), a.K.EventsProcessed())
+		}
+	}
+	// A restored coordinator re-snapshots byte-identically.
+	var buf2 bytes.Buffer
+	if err := fresh.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-snapshot diverged:\n%q\n%q", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestCoordinatorSnapshotRejectsPendingOutbox(t *testing.T) {
+	c := runPingPong(t)
+	c.parts[0].outbox = append(c.parts[0].outbox, Msg{At: 99, Dst: 1})
+	if err := c.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot with a pending outbox message succeeded")
+	}
+}
+
+func TestCoordinatorRestoreRejects(t *testing.T) {
+	c := runPingPong(t)
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := buf.String()
+
+	// Shape mismatch: wrong partition count.
+	threeParts, _ := New(10, []*sim.Kernel{sim.NewKernel(), sim.NewKernel(), sim.NewKernel()})
+	if err := threeParts.Restore(strings.NewReader(rec)); err == nil {
+		t.Fatal("restore into a 3-partition coordinator succeeded")
+	}
+
+	// Shape mismatch: wrong lookahead.
+	wrongLA, _ := New(20, []*sim.Kernel{sim.NewKernel(), sim.NewKernel()})
+	if err := wrongLA.Restore(strings.NewReader(rec)); err == nil {
+		t.Fatal("restore with mismatched lookahead succeeded")
+	}
+
+	// Non-fresh target: already ran.
+	used := runPingPong(t)
+	if err := used.Restore(strings.NewReader(rec)); err == nil {
+		t.Fatal("restore into a used coordinator succeeded")
+	}
+
+	// Corruption: flip a byte in the body (a partition's seq digit).
+	corrupt := strings.Replace(rec, "part 0 seq=", "part 0 seq=9", 1)
+	freshC, _ := New(10, []*sim.Kernel{sim.NewKernel(), sim.NewKernel()})
+	if err := freshC.Restore(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("restore accepted a body that fails the CRC")
+	}
+
+	// Truncation.
+	freshT, _ := New(10, []*sim.Kernel{sim.NewKernel(), sim.NewKernel()})
+	if err := freshT.Restore(strings.NewReader(rec[:len(rec)/2])); err == nil {
+		t.Fatal("restore accepted a truncated record")
+	}
+
+	// Sanity: the pristine record restores into a fresh same-shape target.
+	ok, _ := New(10, []*sim.Kernel{sim.NewKernel(), sim.NewKernel()})
+	if err := ok.Restore(strings.NewReader(rec)); err != nil {
+		t.Fatalf("pristine restore failed: %v", err)
+	}
+}

@@ -44,6 +44,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("jobs_failed_total", "%d", s.failed.Load())
 	p("jobs_canceled_total", "%d", s.canceled.Load())
 	p("jobs_timeout_total", "%d", s.timedout.Load())
+	p("jobs_checkpointed_total", "%d", s.checkpointed.Load())
 	p("queue_capacity", "%d", int64(s.cfg.QueueDepth))
 	p("cache_hits_total", "%d", cs.Hits)
 	p("cache_misses_total", "%d", cs.Misses)

@@ -11,6 +11,8 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -22,6 +24,7 @@ import (
 	"spp1000/internal/experiments"
 	"spp1000/internal/faultinject"
 	"spp1000/internal/resultcache"
+	"spp1000/internal/snapshot"
 )
 
 // RunFunc executes one normalized spec and returns its rendered result.
@@ -37,11 +40,57 @@ func DefaultRun(ctx context.Context, spec experiments.Spec) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return renderBanners(spec.Experiments, outs), nil
+}
+
+// renderBanners assembles per-experiment outputs into the sppbench
+// banner format — one code path, so the checkpointed and plain runners
+// produce byte-identical results for the same spec.
+func renderBanners(names, outs []string) string {
 	var b strings.Builder
-	for i, name := range spec.Experiments {
+	for i, name := range names {
 		fmt.Fprintf(&b, "=== %s ===\n%s\n", name, outs[i])
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// CheckpointRunFunc executes one normalized spec with checkpoint
+// support. prior is the encoded checkpoint of an earlier interrupted
+// run of the same spec (nil to start fresh; implementations must treat
+// undecodable or mismatched bytes as absent). save persists an encoded
+// checkpoint at each boundary. On success the partial return is nil; on
+// a ctx error it carries the completed-prefix checkpoint (nil when
+// nothing completed), which the daemon keeps so a resubmission resumes
+// instead of recomputing.
+type CheckpointRunFunc func(ctx context.Context, spec experiments.Spec, prior []byte, save func([]byte) error) (result string, partial []byte, err error)
+
+// DefaultRunCheckpointed renders spec's experiments exactly like
+// DefaultRun, but through the resumable experiments.RunCheckpointed
+// driver: a checkpoint is saved after every completed experiment, a
+// valid prior checkpoint skips its completed prefix, and a deadline that
+// fires mid-suite returns the work done so far as a partial checkpoint.
+func DefaultRunCheckpointed(ctx context.Context, spec experiments.Spec, prior []byte, save func([]byte) error) (string, []byte, error) {
+	var pc *snapshot.Checkpoint
+	if len(prior) > 0 {
+		// Undecodable or wrong-spec prior bytes mean "no checkpoint":
+		// recompute from scratch rather than fail the job.
+		if c, derr := snapshot.DecodeCheckpoint(prior); derr == nil && c.SpecKey == spec.Key() {
+			pc = c
+		}
+	}
+	var saveCp func(*snapshot.Checkpoint) error
+	if save != nil {
+		saveCp = func(c *snapshot.Checkpoint) error { return save(c.Encode()) }
+	}
+	outs, cp, err := experiments.RunCheckpointed(ctx, spec.Experiments, spec.Options, pc, 1, saveCp)
+	if err != nil {
+		var partial []byte
+		if cp != nil && len(cp.Done) > 0 {
+			partial = cp.Encode()
+		}
+		return "", partial, err
+	}
+	return renderBanners(spec.Experiments, outs), nil, nil
 }
 
 // Config sizes the daemon.
@@ -62,8 +111,17 @@ type Config struct {
 	// beyond it (their results stay in the cache until evicted there).
 	// Default 1024.
 	MaxJobs int
-	// Run executes a job. Default DefaultRun.
+	// Run executes a job. Tests substitute stubs here; when both Run and
+	// RunCheckpointed are nil the daemon defaults to the checkpointing
+	// runner (DefaultRunCheckpointed).
 	Run RunFunc
+	// RunCheckpointed, when set, executes jobs with checkpoint support
+	// and takes precedence over Run: a job whose deadline fires mid-suite
+	// keeps its completed-prefix checkpoint and lands in the terminal
+	// status "checkpointed"; resubmitting the same spec resumes from the
+	// checkpoint instead of recomputing. Default DefaultRunCheckpointed
+	// when Run is also nil.
+	RunCheckpointed CheckpointRunFunc
 	// JobTimeout bounds each job's execution (queue wait excluded): a
 	// run still going when the deadline expires has its context
 	// cancelled — stopping sweep-point dispatch — and the job reports
@@ -113,8 +171,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
-	if c.Run == nil {
-		c.Run = DefaultRun
+	if c.Run == nil && c.RunCheckpointed == nil {
+		c.RunCheckpointed = DefaultRunCheckpointed
 	}
 	if c.Now == nil {
 		//simlint:allow determinism the daemon's single wall-clock source: lifecycle stamps and uptime, never job results or spec keys
@@ -136,11 +194,18 @@ const (
 	// or the submission's own timeout) expired before it finished. Like
 	// failed and canceled jobs, it re-arms on resubmission.
 	StatusTimeout Status = "timeout"
+	// StatusCheckpointed marks a job whose deadline expired after part of
+	// its suite completed: the completed prefix is held as a checkpoint
+	// (in memory and, with a durable store, on disk) instead of being
+	// discarded. Terminal like timeout — waiters unblock — but
+	// resubmitting the same spec re-arms the job and resumes from the
+	// checkpoint, recomputing nothing already done.
+	StatusCheckpointed Status = "checkpointed"
 )
 
 // Terminal reports whether the state is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusTimeout
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusTimeout || s == StatusCheckpointed
 }
 
 // job is the server-side record of one submission. The job id IS the
@@ -151,15 +216,16 @@ type job struct {
 	spec experiments.Spec
 
 	// guarded by Server.mu
-	status    Status
-	cached    bool // result served from cache, no simulation run
-	result    string
-	counters  map[string]int64 // flattened PMU snapshot of the run
-	errMsg    string
-	timeout   time.Duration // execution deadline; 0 = none
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	status     Status
+	cached     bool // result served from cache, no simulation run
+	result     string
+	counters   map[string]int64 // flattened PMU snapshot of the run
+	checkpoint []byte           // encoded completed-prefix checkpoint; survives re-arm
+	errMsg     string
+	timeout    time.Duration // execution deadline; 0 = none
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -187,18 +253,19 @@ type Server struct {
 	sim *counters.Collector
 
 	// cumulative counters (atomics: read by /metrics without the lock)
-	submitted  atomic.Int64 // all submissions (incl. deduped and rejected)
-	deduped    atomic.Int64 // submissions answered by an existing job
-	rejected   atomic.Int64 // submissions refused (queue full or draining)
-	done       atomic.Int64
-	doneCached atomic.Int64 // done transitions answered without a fresh simulation
-	peerHits   atomic.Int64 // done transitions answered by a peer-fetched entry
-	failed     atomic.Int64
-	canceled   atomic.Int64
-	timedout   atomic.Int64
-	queuedN    atomic.Int64 // gauge
-	runningN   atomic.Int64 // gauge
-	busyNanos  atomic.Int64 // summed wall time of job executions
+	submitted    atomic.Int64 // all submissions (incl. deduped and rejected)
+	deduped      atomic.Int64 // submissions answered by an existing job
+	rejected     atomic.Int64 // submissions refused (queue full or draining)
+	done         atomic.Int64
+	doneCached   atomic.Int64 // done transitions answered without a fresh simulation
+	peerHits     atomic.Int64 // done transitions answered by a peer-fetched entry
+	failed       atomic.Int64
+	canceled     atomic.Int64
+	timedout     atomic.Int64
+	checkpointed atomic.Int64 // deadline fired with partial progress checkpointed
+	queuedN      atomic.Int64 // gauge
+	runningN     atomic.Int64 // gauge
+	busyNanos    atomic.Int64 // summed wall time of job executions
 }
 
 // New starts a server with cfg's worker pool running.
@@ -269,8 +336,9 @@ func (s *Server) Submit(spec experiments.Spec, timeout time.Duration) (JobView, 
 			}
 			return v, nil
 		}
-		// failed, canceled, or timed out: re-arm the same record and
-		// run again.
+		// failed, canceled, timed out, or checkpointed: re-arm the same
+		// record and run again. j.checkpoint is deliberately untouched —
+		// a checkpointed job resumes from its completed prefix.
 		j.ctx, j.cancel = context.WithCancel(context.Background())
 		j.status = StatusQueued
 		j.cached = false
@@ -368,8 +436,19 @@ func (s *Server) runJob(j *job) {
 	j.status = StatusRunning
 	j.started = s.cfg.Now()
 	timeout := j.timeout
+	prior := j.checkpoint
 	s.mu.Unlock()
 	s.runningN.Add(1)
+
+	// Resume state for the checkpointing runner: the in-memory checkpoint
+	// of a prior interrupted run, or — after a daemon restart — the
+	// durable store's copy. Corrupt or mismatched bytes are filtered by
+	// the runner, never trusted.
+	if s.cfg.RunCheckpointed != nil && prior == nil && s.cfg.Store != nil {
+		if val, ok, err := s.cfg.Store.Get(checkpointKey(j.id)); err == nil && ok {
+			prior = []byte(val)
+		}
+	}
 
 	// The execution deadline derives from the job's own context, so a
 	// user cancel and a timeout share one cancellation path and are
@@ -389,10 +468,11 @@ func (s *Server) runJob(j *job) {
 	// empty or partial by design.
 	jobCol := counters.NewCollector()
 	counters.Attach(jobCol)
-	// peerFetched is written only inside fn, which Do runs synchronously
-	// on this goroutine (followers coalesce, they never call fn), so a
-	// plain bool is race-free.
+	// peerFetched and partial are written only inside fn, which Do runs
+	// synchronously on this goroutine (followers coalesce, they never
+	// call fn), so plain variables are race-free.
 	peerFetched := false
+	var partial []byte
 	res, outcome, err := s.cache.Do(runCtx, j.id, func() (string, error) {
 		// Test-only fault injection: the fault-matrix suite arms this
 		// point to delay runs (filling the queue) or fail them.
@@ -410,6 +490,11 @@ func (s *Server) runJob(j *job) {
 				return val, nil
 			}
 		}
+		if s.cfg.RunCheckpointed != nil {
+			out, part, rerr := s.cfg.RunCheckpointed(runCtx, j.spec, prior, s.saveCheckpoint(j))
+			partial = part
+			return out, rerr
+		}
 		return s.cfg.Run(runCtx, j.spec)
 	})
 	counters.Detach(jobCol)
@@ -424,6 +509,14 @@ func (s *Server) runJob(j *job) {
 		j.status = StatusDone
 		j.result = res
 		j.cached = outcome == resultcache.Hit || peerFetched
+		j.checkpoint = nil // complete: the resume state is spent
+		// Drop the durable copy too — the result entry supersedes it, and
+		// a stale checkpoint would squat store capacity forever (it can
+		// never be read back once the job is done). Delete is a store
+		// capability, not part of the cache-facing Backing contract.
+		if st, ok := s.cfg.Store.(interface{ Delete(string) error }); ok {
+			_ = st.Delete(checkpointKey(j.id))
+		}
 		if !j.cached {
 			if flat := jobCol.Snapshot().Flatten(); len(flat) > 0 {
 				j.counters = flat
@@ -436,6 +529,15 @@ func (s *Server) runJob(j *job) {
 		if peerFetched {
 			s.peerHits.Add(1)
 		}
+	case errors.Is(err, context.DeadlineExceeded) && len(partial) > 0:
+		// The deadline fired with part of the suite complete: keep the
+		// work instead of discarding it. The status is terminal (waiters
+		// unblock exactly as on timeout) but a resubmission of the same
+		// spec re-arms the job and resumes from this checkpoint.
+		j.status = StatusCheckpointed
+		j.checkpoint = partial
+		j.errMsg = fmt.Sprintf("deadline exceeded after %v; progress checkpointed, resubmit to resume", timeout)
+		s.checkpointed.Add(1)
 	case errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusTimeout
 		j.errMsg = err.Error()
@@ -451,6 +553,34 @@ func (s *Server) runJob(j *job) {
 		j.status = StatusFailed
 		j.errMsg = err.Error()
 		s.failed.Add(1)
+	}
+}
+
+// checkpointKey derives the durable-store key holding a job's resume
+// checkpoint: a distinct content address in the same namespace as the
+// result entries (lowercase hex, so store.ValidKey accepts it), derived
+// from the job id so restart-resume finds it with no extra index.
+func checkpointKey(id string) string {
+	sum := sha256.Sum256([]byte("spp-checkpoint-v1\n" + id))
+	return hex.EncodeToString(sum[:])
+}
+
+// saveCheckpoint returns the per-boundary persist callback handed to the
+// checkpointing runner: each checkpoint replaces the job's in-memory
+// resume state and, when a durable store is configured, its on-disk copy
+// — so both a resubmission and a daemon restart resume from the latest
+// boundary. A store write failure is tolerated (the in-memory copy still
+// advances); durability degrades, the run does not abort.
+func (s *Server) saveCheckpoint(j *job) func([]byte) error {
+	return func(b []byte) error {
+		cp := append([]byte(nil), b...)
+		s.mu.Lock()
+		j.checkpoint = cp
+		s.mu.Unlock()
+		if st := s.cfg.Store; st != nil {
+			_ = st.Put(checkpointKey(j.id), string(cp))
+		}
+		return nil
 	}
 }
 

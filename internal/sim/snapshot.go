@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// kernelMagic is the version tag of the kernel snapshot record. Bump it
+// if the record's fields or meaning change so stale snapshots fail to
+// restore instead of misparsing.
+const kernelMagic = "spp-kern-v1"
+
+// Snapshot writes the kernel's state as one versioned, CRC32-guarded
+// record:
+//
+//	spp-kern-v1 <crc32-hex> now=<cycles> seq=<n> events=<n>
+//
+// A kernel can only be snapshotted at quiescence — event queue empty, no
+// live or blocked Procs — because Go cannot serialize a parked
+// goroutine's stack or a pending event's closure. At quiescence the
+// whole state is the clock, the scheduling sequence counter, and the
+// event count, and those three integers restore it exactly. Snapshot
+// folds outstanding cycles/events into the process totals first
+// (account), so a snapshotted kernel never leaves totals behind.
+func (k *Kernel) Snapshot(w io.Writer) error {
+	if len(k.events) > 0 || k.live > 0 || k.blocked > 0 {
+		return fmt.Errorf("sim: snapshot requires quiescence: %d events pending, %d procs live, %d blocked", len(k.events), k.live, k.blocked)
+	}
+	k.account()
+	body := fmt.Sprintf("now=%d seq=%d events=%d", int64(k.now), k.seq, k.eventsDone)
+	_, err := fmt.Fprintf(w, "%s %08x %s\n", kernelMagic, crc32.ChecksumIEEE([]byte(body)), body)
+	return err
+}
+
+// Restore reads one Snapshot record into a fresh kernel, leaving it in
+// the exact state the snapshotted kernel quiesced in: same clock, same
+// event-sequence counter (so the next scheduled event gets the same seq
+// and the merged PDES order is unchanged), same event count. The
+// restored cycles/events are marked already-accounted so resuming never
+// double-folds them into the process-wide totals. Restoring into a
+// kernel that has already run or scheduled anything is an error.
+func (k *Kernel) Restore(r io.Reader) error {
+	if k.now != 0 || k.seq != 0 || len(k.events) > 0 || k.live > 0 || k.blocked > 0 || k.eventsDone != 0 {
+		return fmt.Errorf("sim: restore target must be a fresh kernel")
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	var crc uint32
+	var now, seq, events int64
+	if _, err := fmt.Sscanf(line, kernelMagic+" %08x now=%d seq=%d events=%d\n", &crc, &now, &seq, &events); err != nil {
+		return fmt.Errorf("sim: restore: malformed kernel record %q", line)
+	}
+	body := fmt.Sprintf("now=%d seq=%d events=%d", now, seq, events)
+	if crc32.ChecksumIEEE([]byte(body)) != crc {
+		return fmt.Errorf("sim: restore: kernel record CRC mismatch")
+	}
+	if now < 0 || seq < 0 || events < 0 {
+		return fmt.Errorf("sim: restore: negative field in kernel record %q", line)
+	}
+	k.now = Cycles(now)
+	k.seq = seq
+	k.eventsDone = events
+	k.accounted = k.now
+	k.eventsAccounted = k.eventsDone
+	return nil
+}
+
+// readLine consumes exactly one newline-terminated line, one byte at a
+// time so the reader is left positioned at the byte after it — callers
+// (the parsim coordinator) stream several records through one reader,
+// which buffered reads would over-consume.
+func readLine(r io.Reader) (string, error) {
+	var line []byte
+	var b [1]byte
+	for {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return "", err
+		}
+		if b[0] == '\n' {
+			return string(append(line, '\n')), nil
+		}
+		line = append(line, b[0])
+		if len(line) > 256 {
+			return "", fmt.Errorf("kernel record line too long")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runSomeEvents drives a kernel through a small event program to a
+// quiescent state with a nonzero clock, sequence, and event count.
+func runSomeEvents(t *testing.T, k *Kernel) {
+	t.Helper()
+	k.At(10, func() {})
+	k.After(25, func() { k.After(5, func() {}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelSnapshotRoundTrip(t *testing.T) {
+	k := NewKernel()
+	runSomeEvents(t, k)
+
+	var buf bytes.Buffer
+	if err := k.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	r := NewKernel()
+	if err := r.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.now != k.now || r.seq != k.seq || r.eventsDone != k.eventsDone {
+		t.Fatalf("restored (now=%d seq=%d events=%d), want (now=%d seq=%d events=%d)",
+			r.now, r.seq, r.eventsDone, k.now, k.seq, k.eventsDone)
+	}
+	// The restored kernel must schedule the next event with the same seq
+	// the original would, preserving the deterministic merge order.
+	r.At(100, func() {})
+	k.At(100, func() {})
+	if r.seq != k.seq {
+		t.Fatalf("post-restore seq %d, original %d", r.seq, k.seq)
+	}
+	// A second snapshot of the restored kernel is byte-identical.
+	r2, k2 := NewKernel(), NewKernel()
+	runSomeEvents(t, k2)
+	var b1, b2 bytes.Buffer
+	k2.Snapshot(&b1)
+	if err := r2.Restore(bytes.NewReader(b1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Snapshot(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("re-snapshot diverged:\n%q\n%q", b1.Bytes(), b2.Bytes())
+	}
+}
+
+func TestKernelSnapshotRequiresQuiescence(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() {})
+	if err := k.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot with a pending event succeeded")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Snapshot(&bytes.Buffer{}); err != nil {
+		t.Fatalf("snapshot at quiescence failed: %v", err)
+	}
+}
+
+func TestKernelRestoreRequiresFresh(t *testing.T) {
+	k := NewKernel()
+	runSomeEvents(t, k)
+	var buf bytes.Buffer
+	if err := k.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	used := NewKernel()
+	runSomeEvents(t, used)
+	if err := used.Restore(&buf); err == nil {
+		t.Fatal("restore into a used kernel succeeded")
+	}
+}
+
+func TestKernelRestoreRejectsCorruption(t *testing.T) {
+	k := NewKernel()
+	runSomeEvents(t, k)
+	var buf bytes.Buffer
+	if err := k.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := buf.String()
+
+	cases := map[string]string{
+		"empty":       "",
+		"bad magic":   strings.Replace(rec, "spp-kern-v1", "spp-kern-v9", 1),
+		"bad crc":     strings.Replace(rec, " now=", " now=9", 1), // body changed, CRC stale
+		"no newline":  strings.TrimSuffix(rec, "\n"),
+		"not numbers": "spp-kern-v1 00000000 now=x seq=y events=z\n",
+	}
+	for name, data := range cases {
+		if err := NewKernel().Restore(strings.NewReader(data)); err == nil {
+			t.Fatalf("%s: restore accepted corrupt record %q", name, data)
+		}
+	}
+	if err := NewKernel().Restore(strings.NewReader(rec)); err != nil {
+		t.Fatalf("pristine record failed: %v", err)
+	}
+}
+
+// Snapshot accounts the kernel's cycles/events into the process totals,
+// and Restore marks them already-accounted — so a snapshot/restore pair
+// contributes exactly once to TotalCycles/TotalEvents, same as an
+// uninterrupted run.
+func TestKernelSnapshotNoDoubleAccounting(t *testing.T) {
+	k := NewKernel()
+	runSomeEvents(t, k)
+	var buf bytes.Buffer
+	if err := k.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c0, e0 := TotalCycles(), TotalEvents()
+	r := NewKernel()
+	if err := r.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Running the restored kernel with no new events folds nothing more.
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dc, de := TotalCycles()-c0, TotalEvents()-e0; dc != 0 || de != 0 {
+		t.Fatalf("restore+run re-folded %d cycles and %d events into the process totals", dc, de)
+	}
+	// New work after the restore folds in only its own delta.
+	r.After(7, func() {})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dc, de := TotalCycles()-c0, TotalEvents()-e0; dc != 7 || de != 1 {
+		t.Fatalf("post-restore work folded (%d cycles, %d events), want (7, 1)", dc, de)
+	}
+}

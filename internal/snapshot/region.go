@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RegionSignature characterizes one completed experiment as a point in
+// counter space: its sim-cycle/event footprint plus a digest of the
+// flattened PMU counters it retired. This is the scaffold for
+// representative-region sampling (docs/SAMPLING.md): signatures that
+// digest equal are behaviorally identical regions, so a sampler can run
+// one representative and extrapolate the rest with a stated error
+// bound. This PR only records signatures; no extrapolation happens yet.
+type RegionSignature struct {
+	// Name is the experiment the region covers.
+	Name string `json:"name"`
+	// Cycles is the sim-cycle footprint of the region.
+	Cycles int64 `json:"cycles"`
+	// Events is the sim-event footprint of the region.
+	Events int64 `json:"events"`
+	// Digest is the hex SHA-256 of the region's sorted flattened counter
+	// vector (see Signature). Equal digests ⇒ equal counter behavior.
+	Digest string `json:"digest"`
+}
+
+// Signature builds the region signature for one completed experiment
+// from its sim footprint and flattened PMU counters. Deterministic: the
+// counter vector is serialized in sorted key order before hashing.
+func Signature(name string, cycles, events int64, flat map[string]int64) RegionSignature {
+	keys := make([]string, 0, len(flat))
+	//simlint:allow determinism keys are sorted below before they feed the digest
+	for k := range flat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "spp-region-v1 %s %d %d\n", name, cycles, events)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, flat[k])
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return RegionSignature{Name: name, Cycles: cycles, Events: events, Digest: hex.EncodeToString(sum[:])}
+}

@@ -212,6 +212,24 @@ func (s *Store) Get(key string) (string, bool, error) {
 	return val, true, nil
 }
 
+// Delete removes the entry stored under key, if any. Deleting an
+// absent key is a no-op: the caller's intent — this key must not be
+// served again — already holds. Used for entries whose lifetime ends
+// before eviction would get to them (a job's resume checkpoint once
+// the job completes).
+func (s *Store) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	s.mu.Lock()
+	delete(s.entries, key)
+	s.mu.Unlock()
+	return nil
+}
+
 // Encode frames a payload in the store's entry format: a one-line
 // `sppstore1 <crc32> <len>` header followed by the raw bytes. The same
 // framing serves two jobs — the on-disk entry file, and the wire format

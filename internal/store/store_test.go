@@ -237,6 +237,73 @@ func TestCapacityEvictsOldest(t *testing.T) {
 	}
 }
 
+// TestEvictionEqualMtimeDeterministic is the tie-break regression: on a
+// filesystem with coarse timestamp granularity several entries can share
+// one mod time, and eviction must then order by key — every daemon
+// looking at the same directory evicts the same entries, regardless of
+// map iteration order. With all mtimes equal, capacity 1 must keep
+// exactly the highest key.
+func TestEvictionEqualMtimeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	mt := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(filepath.Join(dir, key(i)+entrySuffix), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen at capacity 1: the open-time sweep must evict the two
+	// lowest keys and keep key(2), on every run.
+	s2 := open(t, dir, 1)
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+	if _, ok, _ := s2.Get(key(2)); !ok {
+		t.Fatal("tie-break survivor must be the highest key")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := s2.Get(key(i)); ok {
+			t.Fatalf("entry %d survived an equal-mtime eviction", i)
+		}
+	}
+	if ev := s2.Stats().Evictions; ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if err := s.Put(key(0), "spent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key(0)); ok || err != nil {
+		t.Fatalf("deleted entry served: %v, %v", ok, err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", s.Len())
+	}
+	// Absent keys are a no-op, invalid keys an error.
+	if err := s.Delete(key(1)); err != nil {
+		t.Fatalf("delete of absent key: %v", err)
+	}
+	if err := s.Delete("not-a-key"); err == nil {
+		t.Fatal("invalid key accepted")
+	}
+	// The slot is reusable.
+	if err := s.Put(key(0), "again"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get(key(0)); !ok || got != "again" {
+		t.Fatalf("after re-put: %q, %v", got, ok)
+	}
+}
+
 func TestConcurrentPutGet(t *testing.T) {
 	s := open(t, t.TempDir(), 0)
 	var wg sync.WaitGroup
